@@ -1,0 +1,199 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "baselines/s4.h"
+#include "baselines/spf.h"
+#include "baselines/vrr.h"
+#include "graph/generators.h"
+#include "sim/metrics.h"
+
+namespace disco::bench {
+
+Args Args::Parse(int argc, char** argv) {
+  Args a;
+  if (std::getenv("REPRO_FULL") != nullptr) a.full = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) -> const char* {
+      const std::size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value_of("--n=")) {
+      a.n = static_cast<NodeId>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value_of("--seed=")) {
+      a.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--samples=")) {
+      a.samples = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--gbits=")) {
+      a.gbits = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--full") {
+      a.full = true;
+    } else if (arg == "--quick") {
+      a.quick = true;
+    } else if (arg == "--help") {
+      std::printf("flags: --n=<int> --seed=<int> --samples=<int> "
+                  "--gbits=<int> --full --quick\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+void Banner(const std::string& figure, const std::string& expectation) {
+  std::printf("==============================================================="
+              "=\n%s\npaper expectation: %s\n"
+              "================================================================"
+              "\n",
+              figure.c_str(), expectation.c_str());
+}
+
+void PrintCdf(const std::string& label, std::vector<double> values,
+              const std::string& file) {
+  if (values.empty()) {
+    std::printf("%-28s (no data)\n", label.c_str());
+    return;
+  }
+  std::sort(values.begin(), values.end());
+  std::printf("%-28s", label.c_str());
+  static const double kQ[] = {0.01, 0.05, 0.10, 0.25, 0.50,
+                              0.75, 0.90, 0.95, 0.99, 1.00};
+  for (const double q : kQ) std::printf(" p%02.0f=%-9.4g", q * 100,
+                                        Percentile(values, q));
+  std::printf("\n");
+  if (!file.empty()) {
+    WriteFile(file + ".tsv", CdfToCsv(Cdf(values, 256)));
+  }
+}
+
+void PrintSummary(const std::string& label, std::vector<double> values) {
+  const Summary s = Summarize(std::move(values));
+  std::printf("%-28s count=%-7zu mean=%-10.4g p50=%-10.4g p95=%-10.4g "
+              "max=%-10.4g\n",
+              label.c_str(), s.count, s.mean, s.p50, s.p95, s.max);
+}
+
+void PrintTable(const std::string& title,
+                const std::vector<std::string>& columns,
+                const std::vector<std::pair<std::string,
+                                            std::vector<double>>>& rows) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-38s", "");
+  for (const auto& c : columns) std::printf("%-16s", c.c_str());
+  std::printf("\n");
+  for (const auto& [name, vals] : rows) {
+    std::printf("%-38s", name.c_str());
+    for (const double v : vals) std::printf("%-16.4g", v);
+    std::printf("\n");
+  }
+}
+
+Graph MakeAsLevel(const Args& args) {
+  const NodeId n = args.NOr(args.quick ? 4096 : 30610);
+  return AsLevelInternet(n, args.seed);
+}
+
+Graph MakeRouterLevel(const Args& args) {
+  const NodeId n =
+      args.NOr(args.full ? 192244 : (args.quick ? 4096 : 32768));
+  return RouterLevelInternet(n, args.seed);
+}
+
+Graph MakeGeometric(const Args& args, NodeId def_n) {
+  return ConnectedGeometric(args.NOr(args.quick ? 2048 : def_n), 8.0,
+                            args.seed);
+}
+
+Graph MakeGnm(const Args& args, NodeId def_n) {
+  const NodeId n = args.NOr(args.quick ? 2048 : def_n);
+  return ConnectedGnm(n, 4ull * n, args.seed);
+}
+
+StateSeries CollectState(const Graph& g, const Params& p) {
+  Disco disco(g, p);
+  S4 s4(g, p);
+  s4.ClusterSizes();  // one pass over all nodes
+
+  StateSeries out;
+  out.disco.reserve(g.num_nodes());
+  out.nddisco.reserve(g.num_nodes());
+  out.s4.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out.disco.push_back(static_cast<double>(disco.State(v).total()));
+    out.nddisco.push_back(static_cast<double>(
+        disco.nd().State(v, &disco.resolution()).total()));
+    out.s4.push_back(static_cast<double>(s4.State(v).total()));
+  }
+  return out;
+}
+
+void RunThousandNodeComparison(const std::string& tag, const Graph& g,
+                               const Args& args) {
+  std::printf("\ntopology: n=%u, m=%zu\n", g.num_nodes(), g.num_edges());
+  const Params p = args.MakeParams();
+  Disco disco(g, p);
+  S4 s4(g, p);
+  const Vrr vrr(g, p);
+  ShortestPathRouting spf(g, g.num_nodes());
+
+  // --- State (left panels) ---
+  std::printf("\n[state: entries per node, CDF over nodes]\n");
+  const StateSeries st = CollectState(g, p);
+  std::vector<double> vrr_state;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    vrr_state.push_back(static_cast<double>(vrr.State(v).total()));
+  }
+  PrintCdf("Disco", st.disco, tag + "_state_disco");
+  PrintCdf("ND-Disco", st.nddisco, tag + "_state_nddisco");
+  PrintCdf("S4", st.s4, tag + "_state_s4");
+  PrintCdf("VRR", vrr_state, tag + "_state_vrr");
+  PrintSummary("Disco", st.disco);
+  PrintSummary("ND-Disco", st.nddisco);
+  PrintSummary("S4", st.s4);
+  PrintSummary("VRR", vrr_state);
+
+  // --- Stretch (middle panels) ---
+  std::printf("\n[stretch: CDF over src-dest pairs]\n");
+  StretchOptions opt;
+  opt.num_pairs = args.SamplesOr(args.quick ? 300 : 2000);
+  opt.seed = args.seed;
+  const auto run_stretch = [&](const std::string& label, const RouteFn& fn) {
+    PrintCdf(label, SampleStretch(g, fn, opt), tag + "_stretch_" + label);
+  };
+  run_stretch("Disco-First",
+              [&](NodeId s, NodeId t) { return disco.RouteFirst(s, t); });
+  run_stretch("Disco-Later",
+              [&](NodeId s, NodeId t) { return disco.RouteLater(s, t); });
+  run_stretch("S4-First",
+              [&](NodeId s, NodeId t) { return s4.RouteFirst(s, t); });
+  run_stretch("S4-Later",
+              [&](NodeId s, NodeId t) { return s4.RouteLater(s, t); });
+  run_stretch("VRR",
+              [&](NodeId s, NodeId t) { return vrr.RoutePacket(s, t); });
+
+  // --- Congestion (right panels) ---
+  std::printf("\n[congestion: routes crossing each edge, CDF over edges; "
+              "one random destination per node]\n");
+  const auto congestion = [&](const std::string& label, const RouteFn& fn) {
+    const auto counts = CongestionCounts(g, fn, args.seed);
+    std::vector<double> vals(counts.begin(), counts.end());
+    PrintCdf(label, vals, tag + "_congestion_" + label);
+    PrintSummary("  " + label, vals);
+  };
+  congestion("Disco",
+             [&](NodeId s, NodeId t) { return disco.RouteLater(s, t); });
+  congestion("Path-vector",
+             [&](NodeId s, NodeId t) { return spf.RoutePacket(s, t); });
+  congestion("S4", [&](NodeId s, NodeId t) { return s4.RouteLater(s, t); });
+  congestion("VRR",
+             [&](NodeId s, NodeId t) { return vrr.RoutePacket(s, t); });
+}
+
+}  // namespace disco::bench

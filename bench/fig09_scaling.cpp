@@ -1,0 +1,80 @@
+// Fig. 9: scaling with network size on geometric random graphs — mean path
+// stretch (left) and mean per-node state (right) for Disco, NDDisco and S4,
+// n = 2k .. 16k.
+//
+// Paper result: S4's first-packet stretch stays high (~2.5+) at every size
+// while Disco's first/later and S4's later stretch hug 1; routing state for
+// all three grows as ~sqrt(n log n), ordered S4 < NDDisco < Disco.
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "baselines/s4.h"
+#include "graph/generators.h"
+#include "sim/metrics.h"
+
+namespace disco::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const Args args = Args::Parse(argc, argv);
+  Banner("Fig. 9 — mean stretch and mean state vs n (geometric graphs)",
+         "S4-First stays ~2.5+; other stretch curves ≈1; state grows "
+         "~sqrt(n log n) for all three");
+
+  std::vector<NodeId> sizes = {2048, 4096, 8192, 16384};
+  if (args.quick) sizes = {1024, 2048};
+  if (args.n != 0) sizes = {args.n};
+  const std::size_t pairs = args.SamplesOr(args.quick ? 150 : 500);
+
+  std::printf("%-8s %-12s %-12s %-12s %-12s %-12s %-12s %-12s\n", "n",
+              "DiscoFirst", "DiscoLater", "S4First", "S4Later",
+              "state:Disco", "state:ND", "state:S4");
+  std::string tsv =
+      "n\tdisco_first\tdisco_later\ts4_first\ts4_later\tstate_disco\t"
+      "state_nd\tstate_s4\n";
+  for (const NodeId n : sizes) {
+    const Graph g = ConnectedGeometric(n, 8.0, args.seed);
+    const Params p = args.MakeParams();
+    Disco disco(g, p);
+    S4 s4(g, p);
+
+    StretchOptions opt;
+    opt.num_pairs = pairs;
+    opt.seed = args.seed;
+    const double df = Summarize(SampleStretch(
+        g, [&](NodeId s, NodeId t) { return disco.RouteFirst(s, t); },
+        opt)).mean;
+    const double dl = Summarize(SampleStretch(
+        g, [&](NodeId s, NodeId t) { return disco.RouteLater(s, t); },
+        opt)).mean;
+    const double sf = Summarize(SampleStretch(
+        g, [&](NodeId s, NodeId t) { return s4.RouteFirst(s, t); },
+        opt)).mean;
+    const double sl = Summarize(SampleStretch(
+        g, [&](NodeId s, NodeId t) { return s4.RouteLater(s, t); },
+        opt)).mean;
+
+    const StateSeries st = CollectState(g, p);
+    const double mean_disco = Summarize(st.disco).mean;
+    const double mean_nd = Summarize(st.nddisco).mean;
+    const double mean_s4 = Summarize(st.s4).mean;
+
+    std::printf("%-8u %-12.3f %-12.3f %-12.3f %-12.3f %-12.1f %-12.1f "
+                "%-12.1f\n",
+                g.num_nodes(), df, dl, sf, sl, mean_disco, mean_nd,
+                mean_s4);
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "%u\t%f\t%f\t%f\t%f\t%f\t%f\t%f\n", g.num_nodes(), df,
+                  dl, sf, sl, mean_disco, mean_nd, mean_s4);
+    tsv += line;
+  }
+  WriteFile("fig09_scaling.tsv", tsv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace disco::bench
+
+int main(int argc, char** argv) { return disco::bench::Main(argc, argv); }

@@ -1,0 +1,146 @@
+// google-benchmark micro-benchmarks for the primitives every experiment is
+// built on: hashing, shortest paths, the label codec, synopsis merging,
+// consistent hashing, and overlay dissemination. These quantify the cost
+// model behind the simulators rather than reproduce a paper figure.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/disco.h"
+#include "graph/generators.h"
+#include "graph/shortest_path.h"
+#include "routing/address.h"
+#include "util/compact_label.h"
+#include "util/consistent_hash.h"
+#include "util/hashring.h"
+#include "util/sha256.h"
+#include "util/synopsis.h"
+
+namespace disco {
+namespace {
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  const std::string data(1024, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_HashName(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashName(DefaultName(i++)));
+  }
+}
+BENCHMARK(BM_HashName);
+
+void BM_Dijkstra(benchmark::State& state) {
+  const Graph g = ConnectedGnm(static_cast<NodeId>(state.range(0)),
+                               4ull * state.range(0), 1);
+  NodeId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dijkstra(g, src));
+    src = (src + 101) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_Dijkstra)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_KNearestVicinity(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  const Graph g = ConnectedGnm(n, 4ull * n, 1);
+  const std::size_t k = VicinitySize(n);
+  NodeId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KNearest(g, src, k));
+    src = (src + 101) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_KNearestVicinity)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_AddressEncode(benchmark::State& state) {
+  const Graph g = RouterLevelInternet(8192, 1);
+  Params p;
+  const LandmarkSet lms = SelectLandmarks(g.num_nodes(), p);
+  const AddressBook book(g, lms);
+  NodeId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(book.AddressOf(v));
+    v = (v + 37) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_AddressEncode);
+
+void BM_LabelDecode(benchmark::State& state) {
+  std::vector<HopLabel> hops;
+  for (int i = 0; i < 16; ++i) {
+    hops.push_back({static_cast<std::uint32_t>(i % 7),
+                    static_cast<std::uint32_t>(8)});
+  }
+  const EncodedRoute route = EncodeRoute(hops);
+  for (auto _ : state) {
+    LabelDecoder dec(route);
+    std::uint32_t sum = 0;
+    while (dec.HasNext()) sum += dec.Next(8);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_LabelDecode);
+
+void BM_SynopsisMerge(benchmark::State& state) {
+  Synopsis a = Synopsis::ForElement(1);
+  const Synopsis b = Synopsis::ForElement(2);
+  for (auto _ : state) {
+    a.Merge(b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_SynopsisMerge);
+
+void BM_ConsistentHashOwner(benchmark::State& state) {
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t i = 0; i < 512; ++i) members.push_back(i);
+  const ConsistentHashRing ring(members, 8);
+  HashValue key = 0x123456789abcdef0ULL;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.Owner(key));
+    key = key * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+}
+BENCHMARK(BM_ConsistentHashOwner);
+
+void BM_OverlayDisseminate(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  // ConnectedGnm keeps the largest component, so index by the *actual*
+  // node count, not the requested one.
+  const Graph g = ConnectedGnm(n, 4ull * n, 1);
+  Params p;
+  Disco disco(g, p);
+  NodeId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disco.overlay().Disseminate(v));
+    v = (v + 13) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_OverlayDisseminate)->Arg(1024)->Arg(4096);
+
+void BM_DiscoRouteFirst(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  const Graph g = ConnectedGnm(n, 4ull * n, 1);
+  Params p;
+  Disco disco(g, p);
+  NodeId s = 0, t = g.num_nodes() / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disco.RouteFirst(s, t));
+    s = (s + 17) % g.num_nodes();
+    t = (t + 29) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_DiscoRouteFirst)->Arg(1024)->Arg(4096);
+
+}  // namespace
+}  // namespace disco
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// §5.2 overlay numbers: distance traveled by address announcements in the
+// dissemination overlay with 1 vs 3 fingers per node, and the messaging
+// cost of the extra fingers, on a 1,024-node G(n,m) graph.
+//
+// Paper result: with 1 finger, announcements travel mean 5.77 / max 24
+// overlay hops; with 3 fingers, mean 3.04 / max 16 — at only ~3.3% more
+// messages.
+#include "bench_common.h"
+
+#include <cstdio>
+
+namespace disco::bench {
+namespace {
+
+struct FingerStats {
+  double mean_hops = 0;
+  std::size_t max_hops = 0;
+  double messages_per_node = 0;
+  double covered = 0;
+};
+
+FingerStats Measure(const Graph& g, int fingers, const Args& args) {
+  Params p = args.MakeParams();
+  p.fingers = fingers;
+  Disco disco(g, p);
+  FingerStats out;
+  double hop_sum = 0;
+  std::uint64_t msg_sum = 0;
+  std::size_t covered = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto d = disco.overlay().Disseminate(v);
+    hop_sum += d.mean_hops;
+    out.max_hops = std::max(out.max_hops, d.max_hops);
+    msg_sum += d.messages;
+    covered += d.covered_group ? 1 : 0;
+  }
+  out.mean_hops = hop_sum / g.num_nodes();
+  out.messages_per_node =
+      static_cast<double>(msg_sum) / static_cast<double>(g.num_nodes());
+  out.covered = static_cast<double>(covered) /
+                static_cast<double>(g.num_nodes());
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  const Args args = Args::Parse(argc, argv);
+  Banner("§5.2 — announcement dissemination: 1 vs 3 fingers (gnm-1024)",
+         "paper: mean/max hops 5.77/24 (1 finger) vs 3.04/16 (3 fingers) "
+         "for +3.3% messages");
+  const Graph g = MakeGnm(args, 1024);
+
+  const FingerStats one = Measure(g, 1, args);
+  const FingerStats three = Measure(g, 3, args);
+  std::printf("%-12s %-12s %-10s %-16s %-10s\n", "fingers", "mean hops",
+              "max hops", "msgs/announce", "coverage");
+  std::printf("%-12d %-12.2f %-10zu %-16.1f %-10.4f\n", 1, one.mean_hops,
+              one.max_hops, one.messages_per_node, one.covered);
+  std::printf("%-12d %-12.2f %-10zu %-16.1f %-10.4f\n", 3, three.mean_hops,
+              three.max_hops, three.messages_per_node, three.covered);
+  std::printf("\nmessage increase for 3 fingers: %.1f%%\n",
+              100.0 * (three.messages_per_node / one.messages_per_node -
+                       1.0));
+  return 0;
+}
+
+}  // namespace
+}  // namespace disco::bench
+
+int main(int argc, char** argv) { return disco::bench::Main(argc, argv); }

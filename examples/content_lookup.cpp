@@ -1,0 +1,85 @@
+// Self-certifying names (§2): a content-centric scenario where node names
+// are hashes of public keys, so a name proves ownership without any PKI —
+// one of the flat-name use cases that motivates Disco (AIP, DONA, CCN).
+//
+// A peer-to-peer swarm of 1,024 nodes assigns each node the name
+// "sha256:<hex of its 'public key'>". We look up replicas by their
+// self-certifying names and show that (a) lookups route with bounded
+// stretch even though names carry zero location information, and (b)
+// nearby replicas are actually found nearby — the locality property that
+// resolution-based designs (the paper's §2 critique) lose.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/disco.h"
+#include "graph/generators.h"
+#include "graph/shortest_path.h"
+#include "util/sha256.h"
+
+using namespace disco;
+
+namespace {
+
+std::string SelfCertifyingName(NodeId v) {
+  // "Public key" stands in for a real keypair; the name is its hash.
+  const Sha256Digest d = Sha256Hash("public-key-of-peer-" +
+                                    std::to_string(v));
+  static const char* kHex = "0123456789abcdef";
+  std::string hex;
+  for (int i = 0; i < 8; ++i) {  // 16 hex chars is plenty for a demo
+    hex.push_back(kHex[d[i] >> 4]);
+    hex.push_back(kHex[d[i] & 0xF]);
+  }
+  return "sha256:" + hex;
+}
+
+}  // namespace
+
+int main() {
+  const Graph g = ConnectedGeometric(1024, 8.0, 99);
+  std::vector<std::string> names;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    names.push_back(SelfCertifyingName(v));
+  }
+  Params params;
+  params.seed = 99;
+  Disco router(g, params, NameTable::FromNames(names));
+  std::printf("swarm: %u peers, self-certifying names like %s\n",
+              g.num_nodes(), names[0].c_str());
+
+  // A content object is replicated on several peers; a client looks up
+  // each replica by name and picks the cheapest route.
+  const NodeId client = 17;
+  const std::vector<NodeId> replicas = {150, 480, 733, 901};
+  const auto truth = Dijkstra(g, client);
+
+  std::printf("\nclient node %u fetches from replicas:\n", client);
+  double best_len = kInfDist;
+  NodeId best_replica = kInvalidNode;
+  for (const NodeId r : replicas) {
+    const Route route = router.RouteFirst(client, r);
+    std::printf("  %-24s route %.3f (shortest %.3f, stretch %.2f)\n",
+                names[r].c_str(), route.length, truth.dist[r],
+                truth.dist[r] > 0 ? route.length / truth.dist[r] : 1.0);
+    if (route.length < best_len) {
+      best_len = route.length;
+      best_replica = r;
+    }
+  }
+  std::printf("chosen replica: %s\n", names[best_replica].c_str());
+
+  // Locality: the replica that is physically closest should also be the
+  // cheapest to reach — a stretch-bounded routing layer preserves this,
+  // while a remote resolution step (the §2 critique) would not.
+  NodeId nearest = replicas[0];
+  for (const NodeId r : replicas) {
+    if (truth.dist[r] < truth.dist[nearest]) nearest = r;
+  }
+  std::printf("physically nearest replica: %s  %s\n",
+              names[nearest].c_str(),
+              nearest == best_replica
+                  ? "(matches the routed choice: locality preserved)"
+                  : "(differs: stretch shuffled the ordering)");
+  return 0;
+}

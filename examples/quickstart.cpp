@@ -1,0 +1,64 @@
+// Quickstart: build a network, bring up Disco, and route between flat
+// names.
+//
+//   $ ./quickstart
+//
+// Walks through the whole public API surface: topology generation, protocol
+// construction, name-keyed routing, the first-packet / later-packet
+// distinction, and per-node state accounting.
+#include <cstdio>
+
+#include "core/disco.h"
+#include "graph/generators.h"
+#include "graph/shortest_path.h"
+
+using namespace disco;
+
+int main() {
+  // 1. A network: 512 nodes in the plane, links between nearby nodes,
+  //    link latency = distance. Any connected Graph works, including ones
+  //    loaded from edge-list files (graph/io.h).
+  const Graph g = ConnectedGeometric(512, 8.0, /*seed=*/42);
+  std::printf("network: %u nodes, %zu links\n", g.num_nodes(),
+              g.num_edges());
+
+  // 2. Bring up Disco. Params controls the paper's constants; defaults
+  //    match the published Θ(sqrt(n log n)) sizing.
+  Params params;
+  params.seed = 42;
+  Disco router(g, params);
+  std::printf("landmarks: %zu, vicinity size: %zu\n",
+              router.nd().landmarks().count(),
+              router.nd().vicinity_size());
+
+  // 3. Route the first packet of a flow by *name*. The source does not
+  //    know where "node-499" is; a sloppy-group contact in its vicinity
+  //    supplies the address.
+  const Route first = router.RouteFirstByName("node-3", "node-499");
+  std::printf("\nfirst packet node-3 -> node-499: %zu hops, length %.3f\n",
+              first.path.size() - 1, first.length);
+  if (first.contact != kInvalidNode) {
+    std::printf("  address learned from vicinity contact node-%u\n",
+                first.contact);
+  }
+
+  // 4. Later packets use the handshake-optimized route (stretch ≤ 3).
+  const NodeId s = *router.names().Find("node-3");
+  const NodeId t = *router.names().Find("node-499");
+  const Route later = router.RouteLater(s, t);
+  const Dist shortest = Dijkstra(g, s).dist[t];
+  std::printf("later packets: length %.3f | shortest %.3f | stretch "
+              "first=%.3f later=%.3f\n",
+              later.length, shortest, first.length / shortest,
+              later.length / shortest);
+
+  // 5. State stays O~(sqrt(n)) at every node.
+  std::size_t max_state = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_state = std::max(max_state, router.State(v).total());
+  }
+  std::printf("\nmax routing-table entries at any node: %zu (vs %u for "
+              "shortest-path routing)\n",
+              max_state, g.num_nodes());
+  return 0;
+}

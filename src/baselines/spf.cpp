@@ -1,0 +1,44 @@
+#include "baselines/spf.h"
+
+#include <algorithm>
+
+namespace disco {
+
+ShortestPathRouting::ShortestPathRouting(const Graph& g,
+                                         std::size_t cache_capacity)
+    : g_(&g), capacity_(std::max<std::size_t>(cache_capacity, 1)) {}
+
+std::shared_ptr<const ShortestPathTree> ShortestPathRouting::TreeOf(
+    NodeId dest) {
+  auto it = cache_.find(dest);
+  if (it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.tree;
+  }
+  auto tree = std::make_shared<const ShortestPathTree>(Dijkstra(*g_, dest));
+  lru_.push_front(dest);
+  cache_.emplace(dest, Entry{tree, lru_.begin()});
+  if (cache_.size() > capacity_) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return tree;
+}
+
+Route ShortestPathRouting::RoutePacket(NodeId s, NodeId t) {
+  Route r;
+  // Tree rooted at t: path t -> s reversed equals s -> t (undirected).
+  r.path = TreeOf(t)->PathTo(s);
+  std::reverse(r.path.begin(), r.path.end());
+  if (r.path.empty()) return Route{};
+  r.length = PathLength(*g_, r.path);
+  return r;
+}
+
+StateBreakdown ShortestPathRouting::State(NodeId) const {
+  StateBreakdown b;
+  b.fib_entries = g_->num_nodes();
+  return b;
+}
+
+}  // namespace disco

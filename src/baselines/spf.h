@@ -1,0 +1,42 @@
+// Shortest-path routing (the "path vector" row of the evaluation): the
+// Ω(n)-state baseline every compact scheme is measured against. Stretch is
+// 1 by definition; state is one FIB entry per destination; congestion is
+// the shortest-path reference curve of Fig. 4/5/10.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "core/route.h"
+#include "core/state.h"
+#include "graph/graph.h"
+#include "graph/shortest_path.h"
+
+namespace disco {
+
+class ShortestPathRouting {
+ public:
+  explicit ShortestPathRouting(const Graph& g,
+                               std::size_t cache_capacity = 256);
+
+  /// The shortest path s -> t (ties broken deterministically).
+  Route RoutePacket(NodeId s, NodeId t);
+
+  /// n FIB entries per node, the path-vector data plane.
+  StateBreakdown State(NodeId v) const;
+
+ private:
+  std::shared_ptr<const ShortestPathTree> TreeOf(NodeId dest);
+
+  const Graph* g_;
+  std::size_t capacity_;
+  std::list<NodeId> lru_;
+  struct Entry {
+    std::shared_ptr<const ShortestPathTree> tree;
+    std::list<NodeId>::iterator lru_pos;
+  };
+  std::unordered_map<NodeId, Entry> cache_;
+};
+
+}  // namespace disco

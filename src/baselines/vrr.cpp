@@ -1,0 +1,291 @@
+#include "baselines/vrr.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/shortest_path.h"
+#include "util/hashring.h"
+#include "util/rng.h"
+
+namespace disco {
+namespace {
+
+// Removes cycles from a greedy walk, keeping the first visit of each node
+// (what a real setup message's recorded path reduces to).
+std::vector<NodeId> StripLoops(const std::vector<NodeId>& walk) {
+  std::vector<NodeId> out;
+  std::unordered_map<NodeId, std::size_t> pos;
+  for (const NodeId v : walk) {
+    const auto it = pos.find(v);
+    if (it != pos.end()) {
+      for (std::size_t i = it->second + 1; i < out.size(); ++i) {
+        pos.erase(out[i]);
+      }
+      out.resize(it->second + 1);
+    } else {
+      pos[v] = out.size();
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Vrr::PairKey Vrr::KeyOf(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<PairKey>(a) << 32) | b;
+}
+
+Vrr::Vrr(const Graph& g, const Params& params, int vset_half)
+    : g_(&g), names_(NameTable::Default(g.num_nodes())),
+      vset_half_(vset_half) {
+  const NodeId n = g.num_nodes();
+  joined_.assign(n, 0);
+  entries_.resize(n);
+  if (n == 0) return;
+  stats_ = &build_stats_;
+
+  // Join order: grow the joined component outward from a random seed
+  // (each step admits a random node physically adjacent to the component).
+  Rng rng(params.seed ^ 0x7bb0c0ffee123ULL);
+  std::vector<NodeId> frontier;
+  std::vector<char> in_frontier(n, 0);
+  const NodeId seed_node = static_cast<NodeId>(rng.NextBelow(n));
+  frontier.push_back(seed_node);
+  in_frontier[seed_node] = 1;
+  while (!frontier.empty()) {
+    const std::size_t pick = rng.NextBelow(frontier.size());
+    const NodeId x = frontier[pick];
+    frontier[pick] = frontier.back();
+    frontier.pop_back();
+    Join(x);
+    for (const Neighbor& nb : g.neighbors(x)) {
+      if (!joined_[nb.to] && !in_frontier[nb.to]) {
+        in_frontier[nb.to] = 1;
+        frontier.push_back(nb.to);
+      }
+    }
+  }
+
+  stats_ = nullptr;
+
+  // Diagnostics: mean stored path length across live pairs.
+  double hops = 0;
+  for (const auto& [key, path] : pair_paths_) {
+    hops += static_cast<double>(path.size() - 1);
+  }
+  build_stats_.mean_setup_hops =
+      pair_paths_.empty() ? 0 : hops / static_cast<double>(pair_paths_.size());
+}
+
+void Vrr::Join(NodeId x) {
+  const std::pair<HashValue, NodeId> me{names_.hash(x), x};
+  const std::size_t m = ring_.size();
+  if (m == 0) {
+    joined_[x] = 1;
+    ring_.push_back(me);
+    return;
+  }
+
+  // x's vset targets, read off the ring *before* x becomes active: while
+  // its own paths are being set up, a joining node must not attract or
+  // forward traffic (it has no entries yet), exactly as in the protocol.
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(ring_.begin(), ring_.end(), me) - ring_.begin());
+  auto pre = [&](std::ptrdiff_t idx) {
+    return ring_[((idx % static_cast<std::ptrdiff_t>(m)) + m) % m].second;
+  };
+  std::vector<NodeId> targets;
+  for (int d = 0; d < vset_half_; ++d) {
+    const NodeId succ = pre(static_cast<std::ptrdiff_t>(i) + d);
+    const NodeId pred = pre(static_cast<std::ptrdiff_t>(i) - 1 - d);
+    for (const NodeId y : {succ, pred}) {
+      if (std::find(targets.begin(), targets.end(), y) == targets.end()) {
+        targets.push_back(y);
+      }
+    }
+  }
+  for (const NodeId y : targets) SetupPair(x, y);
+
+  // Now x goes live on the ring.
+  joined_[x] = 1;
+  ring_.insert(ring_.begin() + static_cast<std::ptrdiff_t>(i), me);
+  const std::size_t k = ring_.size();
+  auto at = [&](std::ptrdiff_t idx) {
+    const std::size_t mm = ring_.size();
+    return ring_[((idx % static_cast<std::ptrdiff_t>(mm)) + mm) % mm]
+        .second;
+  };
+  const std::ptrdiff_t pos = static_cast<std::ptrdiff_t>(i);
+
+  // Displaced pairs: nodes that were within vset range of each other
+  // across the insertion point but are now too far apart on the ring.
+  if (static_cast<int>(k) > 2 * vset_half_ + 1) {
+    for (int a = 1; a <= vset_half_; ++a) {
+      for (int b = 1; b <= vset_half_; ++b) {
+        if (a + b > vset_half_) {  // ring distance grew past the vset
+          TeardownPair(at(pos - a), at(pos + b));
+        }
+      }
+    }
+  }
+}
+
+void Vrr::SetupPair(NodeId x, NodeId y) {
+  const PairKey key = KeyOf(x, y);
+  if (pair_paths_.count(key)) return;
+
+  // The setup message routes over the current virtual network; the walk it
+  // takes *is* the stored path — VRR never re-optimizes it.
+  std::vector<NodeId> walk = GreedyWalk(x, y);
+  if (walk.empty() || walk.back() != y) {
+    // Rescue (rare; real VRR retries via other pivots): use the physical
+    // shortest path so the ring invariant survives.
+    ++build_stats_.setup_fallbacks;
+    walk = Dijkstra(*g_, x).PathTo(y);
+    if (walk.empty()) return;  // physically unreachable: nothing to do
+  }
+  StorePath(key, StripLoops(walk));
+  ++build_stats_.pairs_set_up;
+}
+
+void Vrr::StorePath(PairKey key, const std::vector<NodeId>& path) {
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    PathEntry e;
+    e.endpoint_a = path.front();
+    e.endpoint_b = path.back();
+    e.next_toward_a = (i == 0) ? kInvalidNode : path[i - 1];
+    e.next_toward_b = (i + 1 == path.size()) ? kInvalidNode : path[i + 1];
+    entries_[path[i]][key] = e;
+  }
+  pair_paths_[key] = path;
+}
+
+void Vrr::TeardownPair(NodeId a, NodeId b) {
+  const PairKey key = KeyOf(a, b);
+  const auto it = pair_paths_.find(key);
+  if (it == pair_paths_.end()) return;
+  for (const NodeId v : it->second) entries_[v].erase(key);
+  pair_paths_.erase(it);
+  ++build_stats_.pairs_torn_down;
+}
+
+std::vector<NodeId> Vrr::GreedyWalk(NodeId start, NodeId target) const {
+  const HashValue ht = names_.hash(target);
+  const std::size_t hop_limit = 16u * g_->num_nodes() + 64;
+  std::vector<NodeId> walk{start};
+  NodeId cur = start;
+  NodeId committed = kInvalidNode;
+  // The pair path being followed toward `committed`; sticking with one
+  // path until the commitment improves keeps the walk loop-free even when
+  // several stored paths share an endpoint.
+  PairKey committed_key = 0;
+  bool have_key = false;
+
+  while (cur != target && walk.size() < hop_limit) {
+    NodeId best = committed;
+    auto better = [&](NodeId cand) {
+      if (cand == kInvalidNode || !joined_[cand]) return false;
+      if (best == kInvalidNode) return true;
+      const std::uint64_t dc = RingDistance(names_.hash(cand), ht);
+      const std::uint64_t db = RingDistance(names_.hash(best), ht);
+      return dc < db || (dc == db && cand < best);
+    };
+    for (const auto& [key, e] : entries_[cur]) {
+      (void)key;
+      if (better(e.endpoint_a)) best = e.endpoint_a;
+      if (better(e.endpoint_b)) best = e.endpoint_b;
+    }
+    // Physical neighbors double as 1-hop endpoints.
+    for (const Neighbor& nb : g_->neighbors(cur)) {
+      if (better(nb.to)) best = nb.to;
+    }
+    if (best == kInvalidNode || best == cur) {
+      if (stats_ != nullptr) {
+        ++(best == kInvalidNode ? stats_->fail_no_candidate
+                                : stats_->fail_stuck);
+      }
+      return {};
+    }
+    if (best != committed) {
+      committed = best;
+      have_key = false;
+    }
+
+    NodeId next = kInvalidNode;
+    if (have_key) {
+      const auto it = entries_[cur].find(committed_key);
+      if (it != entries_[cur].end()) {
+        const PathEntry& e = it->second;
+        next = (e.endpoint_a == committed) ? e.next_toward_a
+                                           : e.next_toward_b;
+      }
+    }
+    if (next == kInvalidNode) {
+      for (const auto& [key, e] : entries_[cur]) {
+        if (e.endpoint_a == committed && e.next_toward_a != kInvalidNode) {
+          next = e.next_toward_a;
+          committed_key = key;
+          have_key = true;
+          break;
+        }
+        if (e.endpoint_b == committed && e.next_toward_b != kInvalidNode) {
+          next = e.next_toward_b;
+          committed_key = key;
+          have_key = true;
+          break;
+        }
+      }
+    }
+    if (next == kInvalidNode) {
+      // committed must then be a physical neighbor.
+      bool adjacent = false;
+      for (const Neighbor& nb : g_->neighbors(cur)) {
+        if (nb.to == committed) adjacent = true;
+      }
+      if (!adjacent) {
+        if (stats_ != nullptr) ++stats_->fail_dead_entry;
+        return {};
+      }
+      next = committed;
+      have_key = false;
+    }
+    walk.push_back(next);
+    cur = next;
+  }
+  if (cur != target) {
+    if (stats_ != nullptr) ++stats_->fail_hop_limit;
+    return {};
+  }
+  return walk;
+}
+
+Route Vrr::RoutePacket(NodeId s, NodeId t) const {
+  Route r;
+  if (s == t) {
+    r.path = {s};
+    r.length = 0;
+    return r;
+  }
+  std::vector<NodeId> walk = GreedyWalk(s, t);
+  if (walk.empty()) return Route{};
+  r.path = std::move(walk);
+  r.length = PathLength(*g_, r.path);
+  return r;
+}
+
+std::vector<Vrr::PathEntry> Vrr::EntriesAt(NodeId v) const {
+  std::vector<PathEntry> out;
+  out.reserve(entries_[v].size());
+  for (const auto& [key, e] : entries_[v]) out.push_back(e);
+  return out;
+}
+
+StateBreakdown Vrr::State(NodeId v) const {
+  StateBreakdown b;
+  b.vset_entries = entries_[v].size();
+  return b;
+}
+
+}  // namespace disco

@@ -1,0 +1,102 @@
+#include "core/churn.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace disco {
+
+ChurnSimulator::ChurnSimulator(NodeId initial_n, const Params& params)
+    : params_(params), n_(initial_n) {
+  assert(initial_n >= 1);
+  state_.resize(initial_n);
+  Rng base(params.seed ^ 0xc0125eedULL);
+  const double p = LandmarkProbability(n_, params_.landmark_prob_factor);
+  for (NodeId v = 0; v < initial_n; ++v) {
+    state_[v].coin = base.Fork(v).NextDouble();
+    state_[v].last_eval_n = n_;
+    state_[v].is_landmark = state_[v].coin < p;
+    num_landmarks_ += state_[v].is_landmark ? 1 : 0;
+  }
+  group_bits_ = SloppyGroupBits(static_cast<double>(n_)) +
+                params_.group_bits_offset;
+  if (group_bits_ < 0) group_bits_ = 0;
+  n_at_group_change_ = static_cast<double>(n_);
+}
+
+bool ChurnSimulator::EvaluateLandmark(NodeId v) {
+  return state_[v].coin <
+         LandmarkProbability(n_, params_.landmark_prob_factor);
+}
+
+ChurnSimulator::StepResult ChurnSimulator::ProcessTriggers() {
+  StepResult r;
+
+  // Landmark re-evaluation: only nodes whose last evaluation is a factor
+  // of 2 away from the current n act (the §4.2 amortization rule).
+  for (NodeId v = 0; v < n_; ++v) {
+    NodeState& st = state_[v];
+    const double ratio = static_cast<double>(n_) /
+                         static_cast<double>(st.last_eval_n);
+    if (ratio < 2.0 && ratio > 0.5) continue;
+    ++r.nodes_reevaluated;
+    st.last_eval_n = n_;
+    const bool now = EvaluateLandmark(v);
+    if (now == st.is_landmark) continue;
+    st.is_landmark = now;
+    num_landmarks_ += now ? 1 : -1;
+    ++(now ? r.landmark_gained : r.landmark_lost);
+  }
+  total_flips_ += r.landmark_flips();
+
+  // Group prefix length: re-derive only once the estimate has drifted ≥10%
+  // from where the grouping was last changed (footnote 4's hysteresis).
+  const double drift = static_cast<double>(n_) / n_at_group_change_;
+  if (drift >= 1.1 || drift <= 1.0 / 1.1) {
+    int candidate = SloppyGroupBits(static_cast<double>(n_)) +
+                    params_.group_bits_offset;
+    if (candidate < 0) candidate = 0;
+    if (candidate != group_bits_) {
+      r.group_bits_delta = candidate - group_bits_;
+      group_bits_ = candidate;
+      n_at_group_change_ = static_cast<double>(n_);
+      ++total_group_changes_;
+    }
+  }
+  return r;
+}
+
+ChurnSimulator::StepResult ChurnSimulator::AddNode() {
+  ++total_events_;
+  const NodeId v = n_;
+  ++n_;
+  if (state_.size() < n_) state_.resize(n_);
+  Rng base(params_.seed ^ 0xc0125eedULL);
+  NodeState& st = state_[v];
+  st.coin = base.Fork(v).NextDouble();
+  st.last_eval_n = n_;
+  st.is_landmark = EvaluateLandmark(v);
+  num_landmarks_ += st.is_landmark ? 1 : 0;
+
+  StepResult r = ProcessTriggers();
+  if (st.is_landmark) ++r.landmark_gained;  // the newcomer's own status
+  total_flips_ += st.is_landmark ? 1 : 0;
+  return r;
+}
+
+ChurnSimulator::StepResult ChurnSimulator::RemoveNode() {
+  assert(n_ >= 2);
+  ++total_events_;
+  const NodeId v = n_ - 1;
+  const bool was_landmark = state_[v].is_landmark;
+  num_landmarks_ -= was_landmark ? 1 : 0;
+  --n_;
+
+  StepResult r = ProcessTriggers();
+  if (was_landmark) ++r.landmark_lost;
+  total_flips_ += was_landmark ? 1 : 0;
+  return r;
+}
+
+}  // namespace disco

@@ -1,0 +1,85 @@
+// Dynamics of the protocol's global parameters under membership churn —
+// the amortization arguments of §4.2 and §4.4 made executable.
+//
+// Two kinds of derived state depend on n and must not thrash as nodes join
+// and leave:
+//
+//  * Landmark status (§4.2): each node's coin threshold p = sqrt(ln n / n)
+//    moves with n, but a node only re-flips once n has changed by a factor
+//    of 2 since its last evaluation, amortizing landmark churn over Ω(n)
+//    membership events.
+//  * Sloppy-group prefix length (§4.4, footnote 4): k = floor(log2(
+//    sqrt(n)/log2 n)) changes only at octave boundaries, and a hysteresis
+//    band (re-evaluate only when the estimate moved ≥10% since the last
+//    change) prevents flapping when n sits near a boundary. A k change is
+//    exactly a split (k+1) or merge (k-1) of every group.
+//
+// ChurnSimulator tracks a growing/shrinking membership and counts these
+// events, driving the `dynamics_churn` bench and the churn tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/params.h"
+
+namespace disco {
+
+class ChurnSimulator {
+ public:
+  /// Starts with `initial_n` members (ids 0..initial_n-1), all evaluated
+  /// at the initial size.
+  ChurnSimulator(NodeId initial_n, const Params& params);
+
+  struct StepResult {
+    std::size_t nodes_reevaluated = 0;  // nodes whose 2x trigger fired
+    std::size_t landmark_gained = 0;    // non-landmark -> landmark
+    std::size_t landmark_lost = 0;      // landmark -> non-landmark
+    int group_bits_delta = 0;           // +1 split, -1 merge, 0 stable
+
+    std::size_t landmark_flips() const {
+      return landmark_gained + landmark_lost;
+    }
+  };
+
+  /// Adds one member and processes every node's (local, lazy) triggers.
+  StepResult AddNode();
+
+  /// Removes the most recently added member.
+  StepResult RemoveNode();
+
+  NodeId n() const { return n_; }
+  std::size_t num_landmarks() const { return num_landmarks_; }
+  int group_bits() const { return group_bits_; }
+  bool IsLandmark(NodeId v) const { return state_[v].is_landmark; }
+
+  /// Lifetime totals (for amortized-cost accounting).
+  std::uint64_t total_landmark_flips() const { return total_flips_; }
+  std::uint64_t total_group_changes() const { return total_group_changes_; }
+  std::uint64_t total_membership_events() const { return total_events_; }
+
+ private:
+  struct NodeState {
+    double coin = 0;          // the node's fixed uniform draw
+    NodeId last_eval_n = 0;   // n when the node last evaluated its status
+    bool is_landmark = false;
+  };
+
+  StepResult ProcessTriggers();
+  bool EvaluateLandmark(NodeId v);  // returns new status under current n_
+
+  Params params_;
+  NodeId n_ = 0;
+  std::vector<NodeState> state_;  // index = node id; only [0, n_) live
+  std::size_t num_landmarks_ = 0;
+
+  int group_bits_ = 0;
+  double n_at_group_change_ = 0;
+
+  std::uint64_t total_flips_ = 0;
+  std::uint64_t total_group_changes_ = 0;
+  std::uint64_t total_events_ = 0;
+};
+
+}  // namespace disco

@@ -1,0 +1,27 @@
+#include "core/name_resolution.h"
+
+namespace disco {
+
+ResolutionDb::ResolutionDb(const NameTable& names,
+                           const LandmarkSet& landmarks, int virtual_points)
+    : names_(&names), ring_(landmarks.landmarks, virtual_points) {
+  for (NodeId v = 0; v < names.size(); ++v) {
+    owned_[ring_.Owner(names.hash(v))].push_back(v);
+  }
+}
+
+NodeId ResolutionDb::OwnerLandmark(HashValue h) const {
+  return ring_.Owner(h);
+}
+
+std::size_t ResolutionDb::EntriesAt(NodeId landmark) const {
+  const auto it = owned_.find(landmark);
+  return it == owned_.end() ? 0 : it->second.size();
+}
+
+std::vector<NodeId> ResolutionDb::OwnedNodes(NodeId landmark) const {
+  const auto it = owned_.find(landmark);
+  return it == owned_.end() ? std::vector<NodeId>{} : it->second;
+}
+
+}  // namespace disco

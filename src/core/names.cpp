@@ -1,0 +1,34 @@
+#include "core/names.h"
+
+#include <cassert>
+
+namespace disco {
+
+NameTable NameTable::Default(NodeId n) {
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (NodeId v = 0; v < n; ++v) names.push_back(DefaultName(v));
+  return FromNames(std::move(names));
+}
+
+NameTable NameTable::FromNames(std::vector<std::string> names) {
+  NameTable t;
+  t.names_ = std::move(names);
+  t.hashes_.reserve(t.names_.size());
+  t.index_.reserve(t.names_.size());
+  for (NodeId v = 0; v < t.names_.size(); ++v) {
+    t.hashes_.push_back(HashName(t.names_[v]));
+    const bool inserted = t.index_.emplace(t.names_[v], v).second;
+    assert(inserted && "names must be unique");
+    (void)inserted;
+  }
+  return t;
+}
+
+std::optional<NodeId> NameTable::Find(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace disco

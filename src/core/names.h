@@ -1,0 +1,43 @@
+// Flat names (§2): arbitrary, location-independent bit strings — DNS names,
+// MAC addresses, self-certifying key hashes. The protocol never interprets
+// a name; it only hashes it. NameTable binds the dense simulation node ids
+// to their names and caches h(name) for the whole network.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/hashring.h"
+
+namespace disco {
+
+class NameTable {
+ public:
+  /// Synthetic names "node-<i>" for an n-node network.
+  static NameTable Default(NodeId n);
+
+  /// Arbitrary user-supplied names (must be unique).
+  static NameTable FromNames(std::vector<std::string> names);
+
+  NodeId size() const { return static_cast<NodeId>(names_.size()); }
+
+  const std::string& name(NodeId v) const { return names_[v]; }
+  HashValue hash(NodeId v) const { return hashes_[v]; }
+
+  /// Reverse lookup; nullopt if the name is unknown.
+  std::optional<NodeId> Find(std::string_view name) const;
+
+  /// All hashes (for consistent-hashing ownership accounting).
+  const std::vector<HashValue>& hashes() const { return hashes_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<HashValue> hashes_;
+  std::unordered_map<std::string, NodeId> index_;
+};
+
+}  // namespace disco

@@ -1,0 +1,220 @@
+#include "core/overlay.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hashring.h"
+#include "util/rng.h"
+
+namespace disco {
+namespace {
+
+struct RingEntry {
+  HashValue hash;
+  NodeId node;
+  bool operator<(const RingEntry& o) const {
+    return hash < o.hash || (hash == o.hash && node < o.node);
+  }
+};
+
+// The contiguous hash block of v's group under v's own rule. `full` marks
+// the k == 0 case where the block is the whole ring.
+struct Block {
+  HashValue start = 0;
+  HashValue span = 0;  // 0 means 2^64 when full
+  bool full = false;
+};
+
+Block BlockOf(HashValue h, int bits) {
+  Block b;
+  if (bits <= 0) {
+    b.full = true;
+    return b;
+  }
+  b.span = (bits >= 64) ? 1 : (HashValue{1} << (64 - bits));
+  b.start = GroupId(h, bits) << (64 - bits);
+  return b;
+}
+
+}  // namespace
+
+Overlay::Overlay(const NameTable& names, const SloppyGroups& groups,
+                 const Params& params)
+    : names_(&names), groups_(&groups) {
+  const NodeId n = names.size();
+  adjacency_.assign(n, {});
+  if (n < 2) return;
+
+  std::vector<RingEntry> ring;
+  ring.reserve(n);
+  for (NodeId v = 0; v < n; ++v) ring.push_back({names.hash(v), v});
+  std::sort(ring.begin(), ring.end());
+
+  auto link = [&](NodeId a, NodeId b) {
+    if (a == b) return;
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+  };
+
+  // Ring links: every node to its global successor (predecessor links come
+  // from the successor's side of the same connection).
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    link(ring[i].node, ring[(i + 1) % ring.size()].node);
+  }
+
+  // Fingers: per node, `params.fingers` draws with hash-space offsets
+  // distributed log-uniformly inside the node's own group block, resolved
+  // to the group member whose hash is closest to the drawn value (the
+  // landmark resolution DB performs that lookup in the real protocol).
+  Rng base(params.seed ^ 0x0f1e2d3c4b5a6978ULL);
+  auto member_closest_to = [&](const Block& b, HashValue target) -> NodeId {
+    // Ring is sorted; the group block is a contiguous range of it.
+    auto lo = ring.begin(), hi = ring.end();
+    if (!b.full) {
+      lo = std::lower_bound(ring.begin(), ring.end(),
+                            RingEntry{b.start, 0});
+      const HashValue end = b.start + b.span;  // may wrap to 0 when k==0
+      hi = (end == 0) ? ring.end()
+                      : std::lower_bound(ring.begin(), ring.end(),
+                                         RingEntry{end, 0});
+    }
+    if (lo == hi) return kInvalidNode;
+    auto it = std::lower_bound(lo, hi, RingEntry{target, 0});
+    // Closest of the two bracketing members.
+    if (it == hi) --it;
+    if (it != lo) {
+      auto prev = std::prev(it);
+      if (RingDistance(prev->hash, target) <= RingDistance(it->hash, target))
+        it = prev;
+    }
+    return it->node;
+  };
+
+  for (NodeId v = 0; v < n; ++v) {
+    Rng rng = base.Fork(v);
+    const HashValue hv = names.hash(v);
+    const int bits = groups.bits_of(v);
+    const Block b = BlockOf(hv, bits);
+    const int width = b.full ? 64 : (64 - bits);
+    // Symphony draws harmonic distances no smaller than the expected
+    // member spacing — otherwise most fingers collapse onto the ring
+    // successor and add nothing.
+    const double group_size_est =
+        std::max(2.0, static_cast<double>(n) / std::exp2(bits));
+    const double min_exponent =
+        std::max(0.0, static_cast<double>(width) - std::log2(group_size_est));
+    for (int f = 0; f < params.fingers; ++f) {
+      NodeId target_node = kInvalidNode;
+      for (int attempt = 0; attempt < 8 && target_node == kInvalidNode;
+           ++attempt) {
+        // Log-uniform offset: P(offset near x) ∝ 1/x, Symphony-style.
+        const double u = rng.NextDouble();
+        const double exponent =
+            min_exponent + u * (static_cast<double>(width) - min_exponent);
+        const HashValue offset = static_cast<HashValue>(
+            std::min(std::exp2(exponent),
+                     std::exp2(static_cast<double>(width)) - 1.0));
+        HashValue target;
+        if (b.full) {
+          target = hv + std::max<HashValue>(offset, 1);
+        } else {
+          const HashValue rel = (hv - b.start + std::max<HashValue>(
+                                                    offset, 1)) %
+                                b.span;
+          target = b.start + rel;
+        }
+        const NodeId cand = member_closest_to(b, target);
+        if (cand != kInvalidNode && cand != v) target_node = cand;
+      }
+      if (target_node != kInvalidNode) link(v, target_node);
+    }
+  }
+
+  for (auto& neigh : adjacency_) {
+    std::sort(neigh.begin(), neigh.end());
+    neigh.erase(std::unique(neigh.begin(), neigh.end()), neigh.end());
+  }
+}
+
+Overlay::Dissemination Overlay::Disseminate(
+    NodeId v, std::vector<std::pair<NodeId, NodeId>>* sends) const {
+  Dissemination out;
+
+  // Nodes that would store v's address, and the guaranteed core group
+  // (matching v on the largest prefix length any node uses).
+  int max_bits = 0;
+  for (NodeId u = 0; u < names_->size(); ++u) {
+    max_bits = std::max(max_bits, groups_->bits_of(u));
+  }
+  std::unordered_set<NodeId> should_store, core;
+  for (NodeId u = 0; u < names_->size(); ++u) {
+    if (u == v) continue;
+    if (groups_->Stores(u, v)) {
+      should_store.insert(u);
+      if (CommonPrefixLength(names_->hash(u), names_->hash(v)) >=
+          max_bits) {
+        core.insert(u);
+      }
+    }
+  }
+  out.group_size = should_store.size();
+  out.core_size = core.size();
+
+  // u relays v's announcement to w iff u accepted it (u believes v shares
+  // its group; the origin always relays) and u believes w shares its group,
+  // and the hash direction is preserved.
+  auto relays = [&](NodeId u) {
+    return u == v || groups_->Stores(u, v);
+  };
+  auto believes_groupmate = [&](NodeId u, NodeId w) {
+    return CommonPrefixLength(names_->hash(u), names_->hash(w)) >=
+           groups_->bits_of(u);
+  };
+
+  std::unordered_map<NodeId, std::size_t> hops;
+  for (const int dir : {+1, -1}) {
+    std::unordered_map<NodeId, std::size_t> level{{v, 0}};
+    std::deque<NodeId> queue{v};
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      if (!relays(u)) continue;
+      const HashValue hu = names_->hash(u);
+      for (const NodeId w : adjacency_[u]) {
+        const HashValue hw = names_->hash(w);
+        const bool forward = dir > 0 ? hw > hu : hw < hu;
+        if (!forward || !believes_groupmate(u, w)) continue;
+        ++out.messages;
+        if (sends != nullptr) sends->emplace_back(u, w);
+        if (!level.count(w)) {
+          level[w] = level[u] + 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    for (const auto& [w, l] : level) {
+      if (w == v || !should_store.count(w)) continue;
+      auto [it, inserted] = hops.emplace(w, l);
+      if (!inserted) it->second = std::min(it->second, l);
+    }
+  }
+
+  double hop_sum = 0;
+  for (const auto& [w, l] : hops) {
+    hop_sum += static_cast<double>(l);
+    out.max_hops = std::max(out.max_hops, l);
+    if (core.count(w)) ++out.core_reached;
+  }
+  out.reached = hops.size();
+  out.covered_group = (out.reached == out.group_size);
+  out.covered_core = (out.core_reached == out.core_size);
+  out.mean_hops = hops.empty() ? 0 : hop_sum /
+                                         static_cast<double>(hops.size());
+  return out;
+}
+
+}  // namespace disco

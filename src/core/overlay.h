@@ -1,0 +1,72 @@
+// The address-dissemination overlay (§4.4).
+//
+// Every node keeps its successor and predecessor in the circular ordering
+// of all nodes by h(·), plus a small number of long-distance "fingers"
+// drawn inside its own sloppy group with probability inversely proportional
+// to hash distance (the Symphony construction [32]). Address announcements
+// flow over these links like a distance-vector protocol with one twist:
+// a node relays an announcement only to neighbors that keep it moving in
+// the same hash direction, so its hash distance from the origin strictly
+// increases and count-to-infinity is structurally impossible.
+//
+// The static simulator models the converged overlay: Disseminate() floods
+// one node's announcement under exactly those rules and reports coverage,
+// message count, and hop distances — the §5.2 numbers (5.77/24 mean/max
+// hops with 1 finger, 3.04/16 with 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/names.h"
+#include "core/sloppy_group.h"
+#include "routing/params.h"
+
+namespace disco {
+
+class Overlay {
+ public:
+  Overlay(const NameTable& names, const SloppyGroups& groups,
+          const Params& params);
+
+  /// Overlay neighbors of v (successor, predecessor, fingers, plus links
+  /// other nodes opened to v — connections are bidirectional TCP).
+  const std::vector<NodeId>& neighbors(NodeId v) const {
+    return adjacency_[v];
+  }
+
+  /// |N(v)|: the overlay component of v's state (≈4 with 1 finger,
+  /// ≈8 with 3, counting both directions).
+  std::size_t degree(NodeId v) const { return adjacency_[v].size(); }
+
+  struct Dissemination {
+    std::size_t group_size = 0;    // nodes that would store the address
+    std::size_t reached = 0;       // of those, how many the flood reached
+    bool covered_group = false;    // reached == group_size
+    // The §4.4 guarantee is for the *core group* G'(v): nodes matching v
+    // on the maximum prefix length in use anywhere, which all agree they
+    // share a group. With exact n the core group IS the group; with
+    // divergent estimates only the core is guaranteed.
+    std::size_t core_size = 0;
+    std::size_t core_reached = 0;
+    bool covered_core = false;
+    std::size_t messages = 0;      // announcement copies sent
+    double mean_hops = 0;          // overlay hops to reach a group member
+    std::size_t max_hops = 0;
+  };
+
+  /// Floods v's address announcement under the directional relay rules and
+  /// measures the result. When `sends` is non-null, every overlay-link
+  /// transmission (u -> w) is appended to it (the messaging simulator costs
+  /// each one by its underlay hop count).
+  Dissemination Disseminate(
+      NodeId v,
+      std::vector<std::pair<NodeId, NodeId>>* sends = nullptr) const;
+
+ private:
+  const NameTable* names_;
+  const SloppyGroups* groups_;
+  std::vector<std::vector<NodeId>> adjacency_;
+};
+
+}  // namespace disco

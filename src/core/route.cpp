@@ -1,0 +1,21 @@
+#include "core/route.h"
+
+#include <cassert>
+
+namespace disco {
+
+std::vector<NodeId> JoinPaths(std::vector<NodeId> head,
+                              const std::vector<NodeId>& tail) {
+  if (head.empty()) return tail;
+  if (tail.empty()) return head;
+  assert(head.back() == tail.front());
+  head.insert(head.end(), tail.begin() + 1, tail.end());
+  return head;
+}
+
+double StretchOf(Dist route_length, Dist shortest) {
+  if (shortest <= 0) return 1.0;
+  return route_length / shortest;
+}
+
+}  // namespace disco

@@ -1,0 +1,38 @@
+// The result of routing one packet in the static simulator: the concrete
+// node path the packet would traverse, plus provenance flags used by the
+// evaluation (whether the sloppy-group contact was found or the resolution
+// fallback fired).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace disco {
+
+struct Route {
+  std::vector<NodeId> path;  // source .. destination inclusive; empty = fail
+  Dist length = kInfDist;
+
+  /// Disco only: the vicinity contact w that supplied the address, or
+  /// kInvalidNode when the route was direct / via fallback.
+  NodeId contact = kInvalidNode;
+
+  /// Disco only: true if no vicinity group member held the destination's
+  /// address and the landmark resolution DB had to be consulted (§4.4 says
+  /// this is w.h.p. never; the error-injection bench provokes it).
+  bool via_fallback = false;
+
+  bool ok() const { return !path.empty() && length < kInfDist; }
+};
+
+/// Concatenates `tail` onto `head` where head.back() == tail.front().
+/// Either side may be empty.
+std::vector<NodeId> JoinPaths(std::vector<NodeId> head,
+                              const std::vector<NodeId>& tail);
+
+/// Stretch of a route against the true shortest distance; 1.0 for
+/// zero-distance (s == t) pairs.
+double StretchOf(Dist route_length, Dist shortest);
+
+}  // namespace disco

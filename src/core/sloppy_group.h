@@ -1,0 +1,74 @@
+// Sloppy groups (§4.4): G(v) is the set of nodes sharing the first
+// k = floor(log2(sqrt(n)/log2 n)) bits of h(v), so a group holds
+// Θ(sqrt(n) log n) nodes — big enough that every vicinity intersects every
+// group w.h.p., small enough to keep the state bound.
+//
+// The grouping is "sloppy" because k derives from each node's own estimate
+// of n. Estimates within a factor of 2 differ by at most one bit, and the
+// dissemination protocol only relays between nodes that agree they share a
+// group; this class models the converged result: w stores t's address iff
+// their hashes agree on max(k_w, k_t) bits (each side's own grouping rule
+// admits the other).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/names.h"
+#include "routing/params.h"
+#include "routing/vicinity.h"
+
+namespace disco {
+
+class SloppyGroups {
+ public:
+  /// All nodes know n exactly (the default evaluation setting, §5.2).
+  /// `bits_offset` is the "+O(1)" of §4.5: extra prefix bits shrinking the
+  /// groups (Params::group_bits_offset).
+  SloppyGroups(const NameTable& names, NodeId n, int bits_offset = 0);
+
+  /// Per-node estimates of n (the error-injection experiment, §5.2).
+  SloppyGroups(const NameTable& names, const std::vector<double>& estimates,
+               int bits_offset = 0);
+
+  /// k_v: the number of leading hash bits node v matches on, derived from
+  /// v's own estimate of n.
+  int bits_of(NodeId v) const { return bits_[v]; }
+
+  /// v's group identifier under its own rule.
+  std::uint64_t group_of(NodeId v) const;
+
+  /// Whether w ends up storing t's address after dissemination converges.
+  bool Stores(NodeId w, NodeId t) const;
+
+  /// Number of addresses node w stores (its sloppy-group state component).
+  std::size_t StoredAddressCount(NodeId w) const;
+
+  /// The nodes whose addresses w stores (for byte-level accounting).
+  std::vector<NodeId> StoredAddresses(NodeId w) const;
+
+  /// Members of v's group under v's own rule (the set the overlay must
+  /// cover when v announces its address).
+  std::vector<NodeId> GroupMembers(NodeId v) const;
+
+  /// The routing step of §4.4: the contact w in s's vicinity with the
+  /// longest prefix match against h(t) (ties broken by proximity, i.e. the
+  /// first such member in distance order). Returns nullopt only for an
+  /// empty vicinity. The caller must still check Stores(w, t): if the best
+  /// prefix match does not hold t's address, Disco falls back to the
+  /// resolution DB (a w.h.p.-never event that the nerror bench provokes).
+  std::optional<NodeId> FindContact(const Vicinity& vic, NodeId t) const;
+
+  const NameTable& names() const { return *names_; }
+
+ private:
+  const NameTable* names_;
+  std::vector<int> bits_;   // k_v per node
+  bool uniform_bits_;       // fast path: every node uses the same k
+  // Uniform fast path: group id -> member list (ids ascending).
+  std::vector<std::vector<NodeId>> members_by_group_;
+  std::vector<std::uint32_t> group_index_;  // node -> group (uniform only)
+};
+
+}  // namespace disco

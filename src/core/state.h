@@ -1,0 +1,28 @@
+// Per-node routing-state accounting, in table entries — the unit of the
+// paper's Fig. 2/4/5/7/9. Every protocol fills the components that apply
+// to it; total() is the data-plane number the CDFs plot.
+#pragma once
+
+#include <cstddef>
+
+namespace disco {
+
+struct StateBreakdown {
+  std::size_t landmark_entries = 0;    // routes to all landmarks
+  std::size_t vicinity_entries = 0;    // NDDisco/Disco: the k closest nodes
+  std::size_t cluster_entries = 0;     // S4: the (unbounded) cluster
+  std::size_t label_entries = 0;       // compact-label -> interface map
+  std::size_t resolution_entries = 0;  // landmark-hosted resolution records
+  std::size_t group_entries = 0;       // Disco: stored sloppy-group addresses
+  std::size_t overlay_entries = 0;     // Disco: overlay neighbor set
+  std::size_t vset_entries = 0;        // VRR: path entries through this node
+  std::size_t fib_entries = 0;         // shortest-path/path-vector: per-dest
+
+  std::size_t total() const {
+    return landmark_entries + vicinity_entries + cluster_entries +
+           label_entries + resolution_entries + group_entries +
+           overlay_entries + vset_entries + fib_entries;
+  }
+};
+
+}  // namespace disco

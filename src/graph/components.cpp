@@ -1,0 +1,73 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace disco {
+
+std::vector<std::uint32_t> ComponentLabels(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint32_t> label(n, 0xFFFFFFFFu);
+  std::vector<NodeId> stack;
+  std::uint32_t next = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    if (label[s] != 0xFFFFFFFFu) continue;
+    label[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const Neighbor& nb : g.neighbors(v)) {
+        if (label[nb.to] == 0xFFFFFFFFu) {
+          label[nb.to] = next;
+          stack.push_back(nb.to);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+std::uint32_t NumComponents(const Graph& g) {
+  const auto labels = ComponentLabels(g);
+  std::uint32_t max_label = 0;
+  for (const auto l : labels) max_label = std::max(max_label, l);
+  return g.num_nodes() == 0 ? 0 : max_label + 1;
+}
+
+bool IsConnected(const Graph& g) {
+  return g.num_nodes() <= 1 || NumComponents(g) == 1;
+}
+
+Graph LargestComponent(const Graph& g, std::vector<NodeId>* old_to_new) {
+  const auto labels = ComponentLabels(g);
+  std::vector<std::size_t> sizes;
+  for (const auto l : labels) {
+    if (l >= sizes.size()) sizes.resize(l + 1, 0);
+    ++sizes[l];
+  }
+  if (sizes.empty()) {
+    if (old_to_new) old_to_new->clear();
+    return Graph();
+  }
+  const std::uint32_t best = static_cast<std::uint32_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+
+  std::vector<NodeId> map(g.num_nodes(), kInvalidNode);
+  NodeId next = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (labels[v] == best) map[v] = next++;
+  }
+  std::vector<WeightedEdge> edges;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const WeightedEdge& we = g.edge(e);
+    if (map[we.a] != kInvalidNode && map[we.b] != kInvalidNode) {
+      edges.push_back({map[we.a], map[we.b], we.weight});
+    }
+  }
+  if (old_to_new) *old_to_new = std::move(map);
+  return Graph::FromEdges(next, edges);
+}
+
+}  // namespace disco

@@ -1,0 +1,26 @@
+// Connected components and largest-component extraction. Generators that
+// can produce disconnected graphs (G(n,m), random geometric) are reduced to
+// their largest connected component, matching the paper's assumption of a
+// connected network (§4.1).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace disco {
+
+/// Component label per node (labels are dense, starting at 0).
+std::vector<std::uint32_t> ComponentLabels(const Graph& g);
+
+std::uint32_t NumComponents(const Graph& g);
+
+bool IsConnected(const Graph& g);
+
+/// The largest connected component of `g`, with nodes relabeled densely.
+/// `old_to_new` (optional out) maps original ids to new ids, kInvalidNode
+/// for dropped nodes.
+Graph LargestComponent(const Graph& g,
+                       std::vector<NodeId>* old_to_new = nullptr);
+
+}  // namespace disco

@@ -1,0 +1,247 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/components.h"
+#include "util/rng.h"
+
+namespace disco {
+namespace {
+
+std::uint64_t EdgeKey(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (std::uint64_t{a} << 32) | b;
+}
+
+}  // namespace
+
+Graph Gnm(NodeId n, std::size_t m, std::uint64_t seed) {
+  assert(n >= 2);
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  assert(m <= max_edges);
+  (void)max_edges;
+
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(m * 2);
+  std::vector<WeightedEdge> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    const NodeId a = static_cast<NodeId>(rng.NextBelow(n));
+    const NodeId b = static_cast<NodeId>(rng.NextBelow(n));
+    if (a == b) continue;
+    if (!used.insert(EdgeKey(a, b)).second) continue;
+    edges.push_back({a, b, 1.0});
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph ConnectedGnm(NodeId n, std::size_t m, std::uint64_t seed) {
+  return LargestComponent(Gnm(n, m, seed));
+}
+
+Graph RandomGeometric(NodeId n, double target_avg_degree,
+                      std::uint64_t seed) {
+  assert(n >= 2);
+  Rng rng(seed);
+  std::vector<double> x(n), y(n);
+  for (NodeId v = 0; v < n; ++v) {
+    x[v] = rng.NextDouble();
+    y[v] = rng.NextDouble();
+  }
+  // Expected neighbors within radius r is ~ n * pi * r^2 (ignoring border
+  // effects), so solve for the target degree.
+  const double r =
+      std::sqrt(target_avg_degree / (M_PI * static_cast<double>(n)));
+
+  // Grid buckets of side r: candidate partners live in the 3x3 neighborhood.
+  const int cells = std::max(1, static_cast<int>(1.0 / r));
+  const double cell = 1.0 / cells;
+  std::vector<std::vector<NodeId>> bucket(
+      static_cast<std::size_t>(cells) * cells);
+  auto bucket_of = [&](double px, double py) {
+    int cx = std::min(cells - 1, static_cast<int>(px / cell));
+    int cy = std::min(cells - 1, static_cast<int>(py / cell));
+    return static_cast<std::size_t>(cy) * cells + cx;
+  };
+  for (NodeId v = 0; v < n; ++v) bucket[bucket_of(x[v], y[v])].push_back(v);
+
+  std::vector<WeightedEdge> edges;
+  const double r2 = r * r;
+  for (NodeId v = 0; v < n; ++v) {
+    const int cx = std::min(cells - 1, static_cast<int>(x[v] / cell));
+    const int cy = std::min(cells - 1, static_cast<int>(y[v] / cell));
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int nx = cx + dx, ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+        for (const NodeId u :
+             bucket[static_cast<std::size_t>(ny) * cells + nx]) {
+          if (u <= v) continue;  // each pair once
+          const double ddx = x[v] - x[u], ddy = y[v] - y[u];
+          const double d2 = ddx * ddx + ddy * ddy;
+          if (d2 <= r2) edges.push_back({v, u, std::sqrt(d2)});
+        }
+      }
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph ConnectedGeometric(NodeId n, double target_avg_degree,
+                         std::uint64_t seed) {
+  return LargestComponent(RandomGeometric(n, target_avg_degree, seed));
+}
+
+Graph BarabasiAlbert(NodeId n, int m_per_node, std::uint64_t seed) {
+  assert(n >= 2);
+  assert(m_per_node >= 1);
+  Rng rng(seed);
+  std::vector<WeightedEdge> edges;
+  // `targets` holds one entry per edge endpoint, so sampling uniformly from
+  // it is sampling proportionally to degree.
+  std::vector<NodeId> targets;
+  targets.reserve(2 * static_cast<std::size_t>(n) * m_per_node);
+
+  const NodeId seed_nodes =
+      std::min<NodeId>(n, static_cast<NodeId>(m_per_node) + 1);
+  for (NodeId v = 1; v < seed_nodes; ++v) {  // small initial clique
+    for (NodeId u = 0; u < v; ++u) {
+      edges.push_back({u, v, 1.0});
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  for (NodeId v = seed_nodes; v < n; ++v) {
+    std::unordered_set<NodeId> chosen;
+    while (chosen.size() < static_cast<std::size_t>(m_per_node)) {
+      const NodeId u = targets[rng.NextBelow(targets.size())];
+      if (u != v) chosen.insert(u);
+    }
+    for (const NodeId u : chosen) {
+      edges.push_back({u, v, 1.0});
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph AsLevelInternet(NodeId n, std::uint64_t seed) {
+  return BarabasiAlbert(n, 2, seed);
+}
+
+Graph RouterLevelInternet(NodeId n, std::uint64_t seed) {
+  assert(n >= 64);
+  Rng rng(seed);
+
+  // PoPs hold ~16 routers on average (geometric sizes in [4, 48]).
+  std::vector<NodeId> pop_size;
+  NodeId assigned = 0;
+  while (assigned < n) {
+    NodeId size = 4;
+    while (size < 48 && assigned + size < n && rng.NextDouble() < 0.92) {
+      ++size;
+    }
+    size = std::min<NodeId>(size, n - assigned);
+    pop_size.push_back(size);
+    assigned += size;
+  }
+  const NodeId num_pops = static_cast<NodeId>(pop_size.size());
+
+  std::vector<NodeId> pop_start(num_pops);
+  NodeId next = 0;
+  for (NodeId p = 0; p < num_pops; ++p) {
+    pop_start[p] = next;
+    next += pop_size[p];
+  }
+
+  std::vector<WeightedEdge> edges;
+  // Intra-PoP: a ring plus a chord, giving redundancy without hub blowup.
+  for (NodeId p = 0; p < num_pops; ++p) {
+    const NodeId s = pop_start[p], sz = pop_size[p];
+    if (sz == 1) continue;
+    for (NodeId i = 0; i < sz; ++i) {
+      edges.push_back({s + i, s + (i + 1) % sz, 1.0});
+    }
+    if (sz >= 6) {
+      for (NodeId i = 0; i < sz / 3; ++i) {
+        const NodeId a = s + static_cast<NodeId>(rng.NextBelow(sz));
+        const NodeId b = s + static_cast<NodeId>(rng.NextBelow(sz));
+        if (a != b) edges.push_back({a, b, 1.0});
+      }
+    }
+  }
+
+  // Inter-PoP: preferential attachment at the PoP level; each inter-PoP
+  // link lands on uniform-random routers inside the two PoPs.
+  std::vector<NodeId> pop_targets;
+  auto random_router = [&](NodeId p) {
+    return pop_start[p] + static_cast<NodeId>(rng.NextBelow(pop_size[p]));
+  };
+  for (NodeId p = 1; p < num_pops; ++p) {
+    const int links = (p < 3) ? 1 : 2;
+    std::unordered_set<NodeId> chosen;
+    while (chosen.size() < static_cast<std::size_t>(links) &&
+           chosen.size() < p) {
+      NodeId q;
+      if (pop_targets.empty() || rng.NextDouble() < 0.2) {
+        q = static_cast<NodeId>(rng.NextBelow(p));
+      } else {
+        q = pop_targets[rng.NextBelow(pop_targets.size())];
+        if (q >= p) continue;
+      }
+      chosen.insert(q);
+    }
+    for (const NodeId q : chosen) {
+      edges.push_back({random_router(p), random_router(q), 1.0});
+      pop_targets.push_back(p);
+      pop_targets.push_back(q);
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph Ring(NodeId n) {
+  assert(n >= 3);
+  std::vector<WeightedEdge> edges;
+  edges.reserve(n);
+  for (NodeId v = 0; v < n; ++v) edges.push_back({v, (v + 1) % n, 1.0});
+  return Graph::FromEdges(n, edges);
+}
+
+Graph Grid(NodeId rows, NodeId cols) {
+  assert(rows >= 1 && cols >= 1);
+  std::vector<WeightedEdge> edges;
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1), 1.0});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c), 1.0});
+    }
+  }
+  return Graph::FromEdges(rows * cols, edges);
+}
+
+Graph S4WorstCaseTree(NodeId branching) {
+  assert(branching >= 1);
+  const NodeId n = 1 + branching + branching * branching;
+  std::vector<WeightedEdge> edges;
+  edges.reserve(n - 1);
+  // Node 0 is the root; children are 1..branching; grandchildren follow.
+  for (NodeId c = 1; c <= branching; ++c) edges.push_back({0, c, 1.0});
+  NodeId next = branching + 1;
+  for (NodeId c = 1; c <= branching; ++c) {
+    for (NodeId i = 0; i < branching; ++i) {
+      edges.push_back({c, next++, 2.0});
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+}  // namespace disco

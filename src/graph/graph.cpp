@@ -1,0 +1,59 @@
+#include "graph/graph.h"
+
+#include <cassert>
+
+namespace disco {
+
+Graph Graph::FromEdges(NodeId n, std::span<const WeightedEdge> edges) {
+  Graph g;
+  g.num_nodes_ = n;
+  g.edges_.reserve(edges.size());
+  for (const WeightedEdge& e : edges) {
+    assert(e.a < n && e.b < n);
+    assert(e.weight > 0);
+    if (e.a == e.b) continue;  // self-loops carry no routing information
+    g.edges_.push_back(e);
+  }
+
+  std::vector<std::uint32_t> deg(n, 0);
+  for (const WeightedEdge& e : g.edges_) {
+    ++deg[e.a];
+    ++deg[e.b];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + deg[v];
+  g.arcs_.resize(g.offsets_[n]);
+
+  std::vector<std::size_t> fill(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId i = 0; i < g.edges_.size(); ++i) {
+    const WeightedEdge& e = g.edges_[i];
+    g.arcs_[fill[e.a]++] = {e.b, e.weight, i};
+    g.arcs_[fill[e.b]++] = {e.a, e.weight, i};
+  }
+  return g;
+}
+
+int Graph::InterfaceTo(NodeId v, NodeId to) const {
+  const auto ns = neighbors(v);
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    if (ns[i].to == to) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Dist Graph::total_weight() const {
+  Dist sum = 0;
+  for (const WeightedEdge& e : edges_) sum += e.weight;
+  return sum;
+}
+
+std::vector<std::vector<NodeId>> Graph::AdjacencyLists() const {
+  std::vector<std::vector<NodeId>> adj(num_nodes_);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    adj[v].reserve(degree(v));
+    for (const Neighbor& nb : neighbors(v)) adj[v].push_back(nb.to);
+  }
+  return adj;
+}
+
+}  // namespace disco

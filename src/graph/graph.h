@@ -1,0 +1,77 @@
+// Weighted undirected graph in compressed sparse row (CSR) form.
+//
+// This is the substrate every protocol routes over (§4.1 of the paper: an
+// undirected connected network with arbitrary structure and link distances).
+// Nodes are dense 32-bit indices; each undirected edge has a stable EdgeId
+// shared by both directions (used by the congestion experiments to count how
+// many routes cross each physical link).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace disco {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+using Dist = double;
+
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+inline constexpr Dist kInfDist = 1e300;
+
+/// An undirected edge for graph construction.
+struct WeightedEdge {
+  NodeId a = 0;
+  NodeId b = 0;
+  Dist weight = 1.0;
+};
+
+/// One directed arc in the CSR adjacency of a node.
+struct Neighbor {
+  NodeId to = 0;
+  Dist weight = 1.0;
+  EdgeId edge = 0;  // undirected edge id, shared with the reverse arc
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a graph with `n` nodes from an undirected edge list.
+  /// Self-loops are dropped; parallel edges are kept (they are harmless to
+  /// every algorithm here). Edge weights must be positive.
+  static Graph FromEdges(NodeId n, std::span<const WeightedEdge> edges);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  std::span<const Neighbor> neighbors(NodeId v) const {
+    return {arcs_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  std::uint32_t degree(NodeId v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// The `i`-th undirected edge as given at construction.
+  const WeightedEdge& edge(EdgeId e) const { return edges_[e]; }
+
+  /// Index of the arc (v -> to) within neighbors(v), or -1 if absent.
+  /// Interface indices are what the compact label codec encodes.
+  int InterfaceTo(NodeId v, NodeId to) const;
+
+  /// Sum of edge weights (diagnostics).
+  Dist total_weight() const;
+
+  /// Adjacency as plain index lists (for gossip simulation etc.).
+  std::vector<std::vector<NodeId>> AdjacencyLists() const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<std::size_t> offsets_;  // size num_nodes_ + 1
+  std::vector<Neighbor> arcs_;        // 2 * num_edges
+  std::vector<WeightedEdge> edges_;
+};
+
+}  // namespace disco

@@ -1,0 +1,48 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace disco {
+
+std::optional<Graph> LoadEdgeList(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+
+  std::unordered_map<std::uint64_t, NodeId> remap;
+  std::vector<WeightedEdge> edges;
+  auto intern = [&remap](std::uint64_t raw) {
+    auto [it, inserted] =
+        remap.emplace(raw, static_cast<NodeId>(remap.size()));
+    return it->second;
+  };
+
+  std::string line;
+  while (std::getline(f, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::uint64_t a, b;
+    if (!(ls >> a >> b)) continue;  // blank or comment-only line
+    double w = 1.0;
+    ls >> w;
+    if (w <= 0) return std::nullopt;
+    edges.push_back({intern(a), intern(b), w});
+  }
+  return Graph::FromEdges(static_cast<NodeId>(remap.size()), edges);
+}
+
+bool SaveEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << "# " << g.num_nodes() << " nodes, " << g.num_edges() << " edges\n";
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const WeightedEdge& we = g.edge(e);
+    f << we.a << ' ' << we.b << ' ' << we.weight << '\n';
+  }
+  return static_cast<bool>(f);
+}
+
+}  // namespace disco

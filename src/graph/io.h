@@ -1,0 +1,22 @@
+// Edge-list I/O so real topology snapshots (e.g. the CAIDA maps the paper
+// uses) can be dropped into any experiment in place of the synthetic
+// stand-ins.
+//
+// Format: one edge per line, "a b [weight]", ids are arbitrary non-negative
+// integers (remapped densely), '#' starts a comment. Weight defaults to 1.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace disco {
+
+/// Loads an edge list; returns std::nullopt on open/parse failure.
+std::optional<Graph> LoadEdgeList(const std::string& path);
+
+/// Writes g as an edge list. Returns false on I/O failure.
+bool SaveEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace disco

@@ -1,0 +1,88 @@
+// Shortest-path machinery: full Dijkstra (landmark trees), truncated
+// k-nearest Dijkstra (vicinities, §4.2), and multi-source Dijkstra (the
+// closest-landmark forest that yields every node's address in one pass).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace disco {
+
+/// Result of a single-source Dijkstra: distances and parent pointers toward
+/// the source. Unreachable nodes have dist == kInfDist, parent ==
+/// kInvalidNode.
+struct ShortestPathTree {
+  NodeId source = kInvalidNode;
+  std::vector<Dist> dist;
+  std::vector<NodeId> parent;
+
+  bool reachable(NodeId v) const { return dist[v] < kInfDist; }
+
+  /// Path source -> v (inclusive of both endpoints). Empty if unreachable.
+  std::vector<NodeId> PathTo(NodeId v) const;
+};
+
+ShortestPathTree Dijkstra(const Graph& g, NodeId source);
+
+/// One settled node of a truncated Dijkstra, in settling order.
+struct NearNode {
+  NodeId node = kInvalidNode;
+  Dist dist = 0;
+  NodeId parent = kInvalidNode;  // previous hop toward the source
+};
+
+/// The k nodes closest to `source` (including `source` itself at distance
+/// 0), in nondecreasing distance order with ties broken by node id. Returns
+/// fewer than k entries only if the component of `source` is smaller.
+///
+/// Deterministic tie-breaking matters: two nodes computing "the k closest"
+/// must agree on the boundary, and tests rely on it.
+std::vector<NearNode> KNearest(const Graph& g, NodeId source, std::size_t k);
+
+/// Every node within distance `radius` (inclusive) of `source`, in
+/// nondecreasing distance order with ties broken by id — the "ball" used
+/// for S4 cluster computations (C(v) membership is a radius test).
+std::vector<NearNode> WithinRadius(const Graph& g, NodeId source,
+                                   Dist radius);
+
+/// Reusable-buffer variant of WithinRadius for tight loops (S4 computes one
+/// ball per node of the network). Uses version-stamped state, so repeated
+/// searches cost O(ball) instead of O(n).
+class RadiusSearcher {
+ public:
+  explicit RadiusSearcher(const Graph& g);
+
+  /// Equivalent to out = WithinRadius(g, source, radius).
+  void Search(NodeId source, Dist radius, std::vector<NearNode>& out);
+
+ private:
+  const Graph& g_;
+  std::uint64_t version_ = 0;
+  std::vector<std::uint64_t> stamp_;
+  std::vector<Dist> dist_;
+  std::vector<NodeId> parent_;
+  std::vector<char> settled_;
+};
+
+/// Multi-source Dijkstra: for every node, the distance and parent toward its
+/// closest source (ties broken by smaller source id). `closest[v]` names
+/// that source. This is exactly the "closest landmark forest": the parent
+/// chain from v is the explicit route of v's address, reversed.
+struct MultiSourceTree {
+  std::vector<Dist> dist;
+  std::vector<NodeId> parent;
+  std::vector<NodeId> closest;
+
+  /// Path from the closest source of v down to v (inclusive).
+  std::vector<NodeId> PathFromSource(NodeId v) const;
+};
+
+MultiSourceTree MultiSourceDijkstra(const Graph& g,
+                                    const std::vector<NodeId>& sources);
+
+/// Length of a node path under g's weights; kInfDist if any hop is missing.
+Dist PathLength(const Graph& g, const std::vector<NodeId>& path);
+
+}  // namespace disco

@@ -1,0 +1,43 @@
+#include "routing/address.h"
+
+#include <cassert>
+
+namespace disco {
+
+AddressBook::AddressBook(const Graph& g, const LandmarkSet& landmarks)
+    : g_(&g), landmarks_(&landmarks),
+      forest_(MultiSourceDijkstra(g, landmarks.landmarks)) {}
+
+Address AddressBook::AddressOf(NodeId v) const {
+  Address a;
+  a.node = v;
+  a.landmark = forest_.closest[v];
+  a.landmark_dist = forest_.dist[v];
+  a.route = forest_.PathFromSource(v);
+  std::vector<HopLabel> hops;
+  hops.reserve(a.route.empty() ? 0 : a.route.size() - 1);
+  for (std::size_t i = 0; i + 1 < a.route.size(); ++i) {
+    const int iface = g_->InterfaceTo(a.route[i], a.route[i + 1]);
+    assert(iface >= 0);
+    hops.push_back({static_cast<std::uint32_t>(iface),
+                    g_->degree(a.route[i])});
+  }
+  a.labels = EncodeRoute(hops);
+  return a;
+}
+
+std::vector<NodeId> FollowEncodedRoute(const Graph& g, NodeId start,
+                                       const EncodedRoute& route) {
+  std::vector<NodeId> path{start};
+  LabelDecoder dec(route);
+  NodeId cur = start;
+  while (dec.HasNext()) {
+    const std::uint32_t iface = dec.Next(g.degree(cur));
+    assert(iface < g.degree(cur));
+    cur = g.neighbors(cur)[iface].to;
+    path.push_back(cur);
+  }
+  return path;
+}
+
+}  // namespace disco

@@ -1,0 +1,67 @@
+// Addresses (§4.2): a node v's address is (l_v, explicit route l_v ; v),
+// where l_v is its closest landmark. The explicit route is carried as
+// compact per-hop labels (ceil(log2 d) bits at a degree-d node).
+//
+// AddressBook derives every node's address from a single multi-source
+// Dijkstra over the landmark set — the "closest landmark forest". Addresses
+// are location-dependent but internal to the protocol; flat names map to
+// them via the resolution database and sloppy groups (core/).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/shortest_path.h"
+#include "routing/landmarks.h"
+#include "util/compact_label.h"
+
+namespace disco {
+
+/// A node's routing address.
+struct Address {
+  NodeId node = kInvalidNode;      // whose address this is
+  NodeId landmark = kInvalidNode;  // l_v, the closest landmark
+  Dist landmark_dist = 0;          // d(l_v, v)
+  std::vector<NodeId> route;       // l_v .. v inclusive (route.front()==l_v)
+  EncodedRoute labels;             // compact encoding of the hops
+
+  std::size_t num_hops() const { return labels.num_hops; }
+
+  /// Bytes of the explicit-route part when carried in a header (§4.2's
+  /// 2.93-byte mean on the router map counts exactly this).
+  std::size_t route_bytes() const { return labels.byte_size(); }
+
+  /// Full address size given a fixed landmark-identifier width.
+  std::size_t total_bytes(std::size_t landmark_id_bytes) const {
+    return landmark_id_bytes + route_bytes();
+  }
+};
+
+class AddressBook {
+ public:
+  AddressBook(const Graph& g, const LandmarkSet& landmarks);
+
+  NodeId closest_landmark(NodeId v) const { return forest_.closest[v]; }
+  Dist landmark_distance(NodeId v) const { return forest_.dist[v]; }
+
+  /// Materializes v's address (route + labels).
+  Address AddressOf(NodeId v) const;
+
+  /// The closest-landmark forest (for protocols that only need distances).
+  const MultiSourceTree& forest() const { return forest_; }
+
+  const LandmarkSet& landmarks() const { return *landmarks_; }
+
+ private:
+  const Graph* g_;
+  const LandmarkSet* landmarks_;
+  MultiSourceTree forest_;
+};
+
+/// Replays an encoded explicit route from `start`, returning the node path
+/// (used by tests to prove the label codec round-trips through the graph).
+std::vector<NodeId> FollowEncodedRoute(const Graph& g, NodeId start,
+                                       const EncodedRoute& route);
+
+}  // namespace disco

@@ -1,0 +1,110 @@
+#include "routing/block_address.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace disco {
+namespace {
+
+constexpr std::uint64_t kCapCeiling = 1ULL << 62;
+
+}  // namespace
+
+BlockAddressing::BlockAddressing(const Graph& g, const AddressBook& book,
+                                 int slack_bits_per_level)
+    : g_(&g), book_(&book) {
+  const NodeId n = g.num_nodes();
+  const MultiSourceTree& forest = book.forest();
+  children_.assign(n, {});
+  for (NodeId v = 0; v < n; ++v) {
+    if (forest.parent[v] != kInvalidNode) {
+      children_[forest.parent[v]].push_back(v);
+    }
+  }
+
+  // Bottom-up capacity: one slot for the node itself plus its children's
+  // capacities, inflated by the per-level slack a dynamic partition would
+  // reserve. Children are processed before parents in reverse settling
+  // order; MultiSourceDijkstra has no such order exposed, so compute via
+  // an explicit post-order walk per region root.
+  std::vector<std::uint64_t> cap(n, 0);
+  std::vector<NodeId> stack, order;
+  for (const NodeId root : book.landmarks().landmarks) {
+    if (forest.closest[root] != root) continue;  // defensive
+    stack.push_back(root);
+    order.clear();
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      order.push_back(v);
+      for (const NodeId c : children_[v]) stack.push_back(c);
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId v = *it;
+      std::uint64_t total = 1;
+      for (const NodeId c : children_[v]) total += cap[c];
+      if (slack_bits_per_level > 0) {
+        const int shift = std::min(slack_bits_per_level, 62);
+        if (total > (kCapCeiling >> shift)) {
+          slack_saturated_ = true;
+        } else {
+          total <<= shift;
+        }
+      }
+      cap[v] = std::min(total, kCapCeiling);
+    }
+  }
+
+  // The wire format is uniform: wide enough for the largest region.
+  std::uint64_t max_cap = 1;
+  for (const NodeId root : book.landmarks().landmarks) {
+    max_cap = std::max(max_cap, cap[root]);
+  }
+  bits_ = std::bit_width(max_cap - 1);
+  if (bits_ == 0) bits_ = 1;
+
+  // Top-down assignment: a node owns the first slot of its range and its
+  // children get consecutive sub-ranges.
+  address_.assign(n, 0);
+  range_end_.assign(n, 0);
+  for (const NodeId root : book.landmarks().landmarks) {
+    address_[root] = 0;
+    range_end_[root] = cap[root];
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      std::uint64_t next = address_[v] + 1;
+      for (const NodeId c : children_[v]) {
+        address_[c] = next;
+        range_end_[c] = next + cap[c];
+        next += cap[c];
+        stack.push_back(c);
+      }
+      assert(next <= range_end_[v]);
+    }
+  }
+}
+
+std::vector<NodeId> BlockAddressing::FollowTo(NodeId v) const {
+  const NodeId root = book_->closest_landmark(v);
+  const std::uint64_t target = address_[v];
+  std::vector<NodeId> path{root};
+  NodeId cur = root;
+  while (address_[cur] != target) {
+    NodeId next = kInvalidNode;
+    for (const NodeId c : children_[cur]) {
+      if (target >= address_[c] && target < range_end_[c]) {
+        next = c;
+        break;
+      }
+    }
+    if (next == kInvalidNode) return {};  // mis-assignment (tests catch it)
+    path.push_back(next);
+    cur = next;
+  }
+  return path;
+}
+
+}  // namespace disco

@@ -1,0 +1,65 @@
+// The fixed-width address alternative sketched (and rejected) in §4.2.
+//
+// Instead of embedding an explicit route, an address could be a fixed
+// O(log n)-bit value: each landmark partitions a block of address space
+// among its tree neighbors in proportion to their number of descendants,
+// recursively down its shortest-path tree — a dynamic, hierarchical
+// assignment analogous to IP prefixes. Forwarding then needs only a range
+// comparison per hop instead of carried labels.
+//
+// The paper keeps explicit routes because the block scheme complicates the
+// protocol and, once provisioned with the slack a *dynamic* partition needs
+// to absorb churn without renumbering, its mean address is no smaller in
+// practice. This module implements both the exact partition and the slack
+// knob so the addr_size bench can reproduce that comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/address.h"
+
+namespace disco {
+
+class BlockAddressing {
+ public:
+  /// Assigns every node a fixed-width address inside its closest
+  /// landmark's region of the forest in `book`.
+  ///
+  /// `slack_bits_per_level`: extra bits reserved at every tree level so a
+  /// dynamic implementation could grow subtrees without renumbering; 0
+  /// gives the exact (static) partition whose width is
+  /// ceil(log2(largest region)).
+  BlockAddressing(const Graph& g, const AddressBook& book,
+                  int slack_bits_per_level = 0);
+
+  /// Address width in bits (uniform across the network — the wire format).
+  int bits() const { return bits_; }
+
+  /// Bytes on the wire (excluding the landmark identifier), the number
+  /// comparable with Address::route_bytes().
+  std::size_t address_bytes() const { return (bits_ + 7) / 8; }
+
+  std::uint64_t AddressOf(NodeId v) const { return address_[v]; }
+
+  /// Forwards hop by hop from v's landmark using only range comparisons;
+  /// returns the node path (landmark .. v). Used to prove the assignment
+  /// routes correctly.
+  std::vector<NodeId> FollowTo(NodeId v) const;
+
+  /// True when the requested slack overflowed 64-bit addresses and the
+  /// assignment degraded to the exact partition for some regions.
+  bool slack_saturated() const { return slack_saturated_; }
+
+ private:
+  const Graph* g_;
+  const AddressBook* book_;
+  int bits_ = 0;
+  bool slack_saturated_ = false;
+  std::vector<std::uint64_t> address_;     // per node
+  std::vector<std::uint64_t> range_end_;   // exclusive end of v's range
+  std::vector<std::vector<NodeId>> children_;  // forest children lists
+};
+
+}  // namespace disco

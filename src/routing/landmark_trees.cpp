@@ -1,0 +1,32 @@
+#include "routing/landmark_trees.h"
+
+#include <cassert>
+
+namespace disco {
+
+LandmarkTreeCache::LandmarkTreeCache(const Graph& g,
+                                     const LandmarkSet& landmarks,
+                                     std::size_t capacity)
+    : g_(g), landmarks_(landmarks),
+      capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+std::shared_ptr<const ShortestPathTree> LandmarkTreeCache::Tree(NodeId l) {
+  assert(landmarks_.Contains(l));
+  auto it = cache_.find(l);
+  if (it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.tree;
+  }
+  auto tree = std::make_shared<const ShortestPathTree>(Dijkstra(g_, l));
+  ++computed_;
+  lru_.push_front(l);
+  cache_.emplace(l, Entry{tree, lru_.begin()});
+  if (cache_.size() > capacity_) {
+    const NodeId evict = lru_.back();
+    lru_.pop_back();
+    cache_.erase(evict);
+  }
+  return tree;
+}
+
+}  // namespace disco

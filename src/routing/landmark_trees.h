@@ -1,0 +1,49 @@
+// Per-landmark shortest-path trees, computed lazily and memoized.
+//
+// Every node knows a shortest path to every landmark (§4.2); in the static
+// simulator that knowledge is the landmark's full Dijkstra tree: dist[l][v]
+// is v's landmark-table entry for l, and the parent chain materializes the
+// s ; l segment of routes. Trees are O(n) each, so for the paper-scale maps
+// the cache is bounded and the benches sort their sampled destinations by
+// closest landmark to maximize reuse.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/shortest_path.h"
+#include "routing/landmarks.h"
+
+namespace disco {
+
+class LandmarkTreeCache {
+ public:
+  /// `capacity` = number of trees kept resident.
+  LandmarkTreeCache(const Graph& g, const LandmarkSet& landmarks,
+                    std::size_t capacity = 2048);
+
+  /// The Dijkstra tree rooted at landmark `l` (l must be a landmark).
+  std::shared_ptr<const ShortestPathTree> Tree(NodeId l);
+
+  const LandmarkSet& landmarks() const { return landmarks_; }
+
+  std::size_t computed_count() const { return computed_; }
+
+ private:
+  const Graph& g_;
+  const LandmarkSet& landmarks_;
+  std::size_t capacity_;
+  std::size_t computed_ = 0;
+  std::list<NodeId> lru_;
+  struct Entry {
+    std::shared_ptr<const ShortestPathTree> tree;
+    std::list<NodeId>::iterator lru_pos;
+  };
+  std::unordered_map<NodeId, Entry> cache_;
+};
+
+}  // namespace disco

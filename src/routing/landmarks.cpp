@@ -1,0 +1,70 @@
+#include "routing/landmarks.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace disco {
+
+LandmarkSet SelectLandmarks(NodeId n, const Params& params) {
+  const double p = LandmarkProbability(n, params.landmark_prob_factor);
+  LandmarkSet set;
+  set.is_landmark.assign(n, 0);
+
+  Rng base(params.seed);
+  double min_draw = 2.0;
+  NodeId min_node = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    // Fork per node: each node's coin depends only on (seed, v), mirroring
+    // the local and independent decision of the protocol.
+    const double draw = base.Fork(v).NextDouble();
+    if (draw < p) {
+      set.is_landmark[v] = 1;
+      set.landmarks.push_back(v);
+    }
+    if (draw < min_draw) {
+      min_draw = draw;
+      min_node = v;
+    }
+  }
+  if (set.landmarks.empty() && n > 0) {
+    set.is_landmark[min_node] = 1;
+    set.landmarks.push_back(min_node);
+  }
+  return set;
+}
+
+LandmarkSet LandmarksFromList(NodeId n, std::vector<NodeId> chosen) {
+  assert(!chosen.empty());
+  LandmarkSet set;
+  set.is_landmark.assign(n, 0);
+  std::sort(chosen.begin(), chosen.end());
+  chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+  for (const NodeId l : chosen) {
+    assert(l < n);
+    set.is_landmark[l] = 1;
+  }
+  set.landmarks = std::move(chosen);
+  return set;
+}
+
+LandmarkSet SelectDegreeBasedLandmarks(const Graph& g,
+                                       const Params& params) {
+  const NodeId n = g.num_nodes();
+  const std::size_t want = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             n * LandmarkProbability(n, params.landmark_prob_factor))));
+
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&g](NodeId a, NodeId b) {
+    return g.degree(a) > g.degree(b) ||
+           (g.degree(a) == g.degree(b) && a < b);
+  });
+  order.resize(std::min<std::size_t>(want, n));
+  return LandmarksFromList(n, std::move(order));
+}
+
+}  // namespace disco

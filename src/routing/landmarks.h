@@ -1,0 +1,40 @@
+// Landmark selection (§4.2): every node flips a local coin and becomes a
+// landmark with probability sqrt(ln n / n), giving Θ(sqrt(n ln n)) landmarks
+// w.h.p. with no coordination. The decision is a pure function of
+// (seed, node), which is exactly how a distributed node would use a local
+// PRG — no global shuffle is involved, so the set is stable under node
+// arrivals (the amortized re-flip rule of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/params.h"
+
+namespace disco {
+
+struct LandmarkSet {
+  std::vector<NodeId> landmarks;   // ascending node ids
+  std::vector<char> is_landmark;   // indexed by node id
+
+  std::size_t count() const { return landmarks.size(); }
+  bool Contains(NodeId v) const { return is_landmark[v] != 0; }
+};
+
+/// Selects landmarks among n nodes. Guarantees at least one landmark (if
+/// every coin fails, the node with the smallest draw is promoted — a stand-
+/// in for the paper's w.h.p. argument that keeps small test graphs sound).
+LandmarkSet SelectLandmarks(NodeId n, const Params& params);
+
+/// An operator-specified landmark set (§6: the guarantees need only that
+/// every node has a landmark in its vicinity and there are O~(sqrt(n))
+/// landmarks in total — operators may prefer well-provisioned nodes, or a
+/// landmark service). `chosen` must be non-empty; duplicates are merged.
+LandmarkSet LandmarksFromList(NodeId n, std::vector<NodeId> chosen);
+
+/// The §6 "well-provisioned landmarks" policy: the expected-count highest-
+/// degree nodes of `g` (ties by id). Same cardinality as the random rule.
+LandmarkSet SelectDegreeBasedLandmarks(const Graph& g, const Params& params);
+
+}  // namespace disco

@@ -1,0 +1,32 @@
+#include "routing/params.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace disco {
+
+double LandmarkProbability(NodeId n, double factor) {
+  if (n <= 1) return 1.0;
+  const double p =
+      factor * std::sqrt(std::log(static_cast<double>(n)) /
+                         static_cast<double>(n));
+  return std::clamp(p, 0.0, 1.0);
+}
+
+std::size_t VicinitySize(NodeId n, double factor) {
+  if (n <= 1) return 1;
+  const double k = factor * std::sqrt(static_cast<double>(n) *
+                                      std::log(static_cast<double>(n)));
+  return std::clamp<std::size_t>(static_cast<std::size_t>(std::ceil(k)), 1,
+                                 n);
+}
+
+int SloppyGroupBits(double n_estimate) {
+  if (n_estimate <= 4) return 0;
+  const double ratio = std::sqrt(n_estimate) / std::log2(n_estimate);
+  if (ratio <= 1) return 0;
+  const int b = static_cast<int>(std::floor(std::log2(ratio)));
+  return std::clamp(b, 0, 62);
+}
+
+}  // namespace disco

@@ -1,0 +1,38 @@
+// Disco's messaging on top of NDDisco (Fig. 8's Disco-1-finger and
+// Disco-3-finger curves): the overlay has to be joined and every node's
+// address announcement disseminated through it.
+//
+// Accounting (per node v):
+//  * one resolution lookup to join the ring (owner of h(v)) and one per
+//    finger draw — each lookup is a request + response routed over the
+//    underlay, costing hops(v, owner_landmark) each way;
+//  * one connection open per overlay link v initiates (hops(v, neighbor));
+//  * the directional flood of v's address announcement: one control
+//    message per overlay-link send — announcements ride established TCP
+//    connections, so the protocol-message count (what Fig. 8 plots) does
+//    not scale with the underlay path length.
+#pragma once
+
+#include <cstdint>
+
+#include "core/disco.h"
+#include "graph/graph.h"
+
+namespace disco {
+
+struct OverlayMessaging {
+  std::uint64_t lookup_messages = 0;
+  std::uint64_t connect_messages = 0;
+  std::uint64_t dissemination_messages = 0;
+
+  std::uint64_t total() const {
+    return lookup_messages + connect_messages + dissemination_messages;
+  }
+};
+
+/// Measures the overlay's total underlay message cost for the whole
+/// network. O(n * (n + m)) — one BFS per node for hop distances — so meant
+/// for the Fig. 8 scale (n ≤ a few thousand).
+OverlayMessaging MeasureOverlayMessaging(const Graph& g, Disco& disco);
+
+}  // namespace disco

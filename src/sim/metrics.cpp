@@ -1,0 +1,103 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "graph/shortest_path.h"
+#include "util/rng.h"
+
+namespace disco {
+namespace {
+
+// The undirected edge a route hop uses (cheapest parallel edge wins, which
+// matches how PathLength costs the hop).
+EdgeId EdgeUsed(const Graph& g, NodeId a, NodeId b) {
+  EdgeId best = kInvalidNode;
+  Dist best_w = kInfDist;
+  for (const Neighbor& nb : g.neighbors(a)) {
+    if (nb.to == b && nb.weight < best_w) {
+      best_w = nb.weight;
+      best = nb.edge;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<double> SampleStretch(const Graph& g, const RouteFn& route,
+                                  const StretchOptions& options,
+                                  std::vector<StretchSample>* details) {
+  const NodeId n = g.num_nodes();
+  std::vector<double> stretches;
+  if (n < 2) return stretches;
+  Rng rng(options.seed ^ 0x57e7c4a11dULL);
+
+  const std::size_t sources =
+      (options.num_pairs + options.dests_per_source - 1) /
+      options.dests_per_source;
+  for (std::size_t i = 0; i < sources; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.NextBelow(n));
+    const ShortestPathTree truth = Dijkstra(g, s);
+    for (std::size_t j = 0; j < options.dests_per_source &&
+                            stretches.size() < options.num_pairs;
+         ++j) {
+      NodeId t = static_cast<NodeId>(rng.NextBelow(n));
+      if (t == s || !truth.reachable(t)) continue;
+
+      StretchSample sample;
+      sample.s = s;
+      sample.t = t;
+      sample.shortest = truth.dist[t];
+      const Route r = route(s, t);
+      if (!r.ok()) {
+        sample.failed = true;
+      } else {
+        sample.routed = r.length;
+        sample.stretch = StretchOf(r.length, truth.dist[t]);
+        stretches.push_back(sample.stretch);
+      }
+      if (details != nullptr) details->push_back(sample);
+    }
+  }
+  return stretches;
+}
+
+std::vector<std::size_t> CongestionCounts(const Graph& g,
+                                          const RouteFn& route,
+                                          std::uint64_t seed) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::size_t> counts(g.num_edges(), 0);
+  Rng rng(seed ^ 0xc049e5710eULL);
+  for (NodeId s = 0; s < n; ++s) {
+    NodeId t = s;
+    while (t == s && n > 1) t = static_cast<NodeId>(rng.NextBelow(n));
+    if (t == s) continue;
+    const Route r = route(s, t);
+    for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
+      const EdgeId e = EdgeUsed(g, r.path[i], r.path[i + 1]);
+      if (e != kInvalidNode) ++counts[e];
+    }
+  }
+  return counts;
+}
+
+std::vector<NodeId> SampleNodes(NodeId n, std::size_t count,
+                                std::uint64_t seed) {
+  std::vector<NodeId> out;
+  if (count >= n) {
+    out.resize(n);
+    std::iota(out.begin(), out.end(), 0);
+    return out;
+  }
+  Rng rng(seed ^ 0x5a3b1e5ULL);
+  std::unordered_set<NodeId> seen;
+  while (out.size() < count) {
+    const NodeId v = static_cast<NodeId>(rng.NextBelow(n));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace disco

@@ -1,0 +1,167 @@
+#include "sim/pv_sim.h"
+
+#include <cassert>
+#include <queue>
+
+#include "graph/shortest_path.h"
+#include "util/rng.h"
+
+namespace disco {
+namespace {
+
+struct DrainEvent {
+  double time;
+  std::uint64_t seq;
+  std::uint32_t arc;  // directed arc index
+  bool operator>(const DrainEvent& o) const {
+    return time > o.time || (time == o.time && seq > o.seq);
+  }
+};
+
+struct Arc {
+  NodeId from, to;
+  Dist weight;
+  double delay;
+  bool scheduled = false;
+  // Coalesced pending updates (origin -> announced distance from `from`).
+  std::unordered_map<NodeId, Dist> pending;
+};
+
+// Per-node protocol state.
+struct NodeState {
+  std::unordered_map<NodeId, Dist> table;
+  // kNdDisco: the bounded non-landmark entries ordered by (dist, id) so the
+  // worst one can be evicted when a closer node shows up.
+  std::set<std::pair<Dist, NodeId>> vicinity;
+};
+
+}  // namespace
+
+PvResult SimulatePathVector(const Graph& g, const PvConfig& config) {
+  const NodeId n = g.num_nodes();
+  PvResult result;
+  result.tables.resize(n);
+
+  // Landmarks / cluster radii are needed by the filtered modes.
+  LandmarkSet local_landmarks;
+  const LandmarkSet* landmarks = config.landmarks;
+  if (landmarks == nullptr &&
+      (config.mode == PvMode::kNdDisco || config.mode == PvMode::kS4)) {
+    local_landmarks = SelectLandmarks(n, config.params);
+    landmarks = &local_landmarks;
+  }
+  std::vector<Dist> cluster_radius;
+  if (config.mode == PvMode::kS4) {
+    cluster_radius = MultiSourceDijkstra(g, landmarks->landmarks).dist;
+  }
+  const std::size_t k = config.mode == PvMode::kNdDisco
+                            ? (config.vicinity_k > 0
+                                   ? config.vicinity_k
+                                   : VicinitySize(n, config.params.vicinity_factor))
+                            : 0;
+
+  // Directed arcs with fixed random delays (asynchronous links).
+  Rng rng(config.params.seed ^ 0x5ca1ab1edeadbeefULL);
+  std::vector<Arc> arcs;
+  std::vector<std::vector<std::uint32_t>> out_arcs(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const Neighbor& nb : g.neighbors(v)) {
+      const std::uint32_t id = static_cast<std::uint32_t>(arcs.size());
+      arcs.push_back({v, nb.to, nb.weight, 0.5 + rng.NextDouble(), false,
+                      {}});
+      out_arcs[v].push_back(id);
+    }
+  }
+
+  std::vector<NodeState> nodes(n);
+  std::priority_queue<DrainEvent, std::vector<DrainEvent>,
+                      std::greater<>> queue;
+  std::uint64_t seq = 0;
+  double now = 0;
+
+  auto schedule_arc = [&](std::uint32_t arc_id) {
+    Arc& a = arcs[arc_id];
+    if (a.scheduled || a.pending.empty()) return;
+    a.scheduled = true;
+    queue.push({now + a.delay, ++seq, arc_id});
+  };
+
+  // Accepts announcement (origin at distance d) into v's table; returns
+  // true when the entry is new or strictly improved (and must propagate).
+  auto accept = [&](NodeId v, NodeId origin, Dist d) -> bool {
+    if (origin == v) return false;
+    NodeState& st = nodes[v];
+    const auto it = st.table.find(origin);
+    const bool known = it != st.table.end();
+    if (known && d >= it->second) return false;
+
+    const bool is_landmark =
+        landmarks != nullptr && landmarks->Contains(origin);
+    if (config.mode == PvMode::kS4 && !is_landmark) {
+      // Relative epsilon for the boundary case d == d(origin, l_origin)
+      // (the radius was summed from the landmark side).
+      if (d > cluster_radius[origin] * (1 + 1e-12) + 1e-12) return false;
+    }
+    if (config.mode == PvMode::kNdDisco && !is_landmark) {
+      if (known) {
+        st.vicinity.erase({it->second, origin});
+        st.vicinity.insert({d, origin});
+      } else if (st.vicinity.size() < k) {
+        st.vicinity.insert({d, origin});
+      } else {
+        const auto worst = std::prev(st.vicinity.end());
+        if (std::make_pair(d, origin) >= *worst) return false;
+        st.table.erase(worst->second);  // evict, no withdrawal needed
+        st.vicinity.erase(worst);
+        st.vicinity.insert({d, origin});
+      }
+    }
+    st.table[origin] = d;
+    return true;
+  };
+
+  auto propagate = [&](NodeId v, NodeId origin, Dist d,
+                       NodeId learned_from) {
+    for (const std::uint32_t arc_id : out_arcs[v]) {
+      Arc& a = arcs[arc_id];
+      if (a.to == learned_from) continue;  // split horizon
+      a.pending[origin] = d;
+      schedule_arc(arc_id);
+    }
+  };
+
+  // t = 0: every node originates its own announcement.
+  for (NodeId v = 0; v < n; ++v) {
+    nodes[v].table[v] = 0;
+    propagate(v, v, 0, kInvalidNode);
+  }
+
+  while (!queue.empty()) {
+    const DrainEvent ev = queue.top();
+    queue.pop();
+    now = ev.time;
+    Arc& a = arcs[ev.arc];
+    a.scheduled = false;
+    // Take the batch; deliveries may enqueue more on this very arc.
+    std::unordered_map<NodeId, Dist> batch;
+    batch.swap(a.pending);
+    for (const auto& [origin, dist_at_sender] : batch) {
+      ++result.total_messages;
+      const Dist d = dist_at_sender + a.weight;
+      if (accept(a.to, origin, d)) {
+        result.convergence_time = now;
+        propagate(a.to, origin, d, a.from);
+      }
+    }
+    schedule_arc(ev.arc);  // re-arm if deliveries re-filled it
+  }
+
+  result.messages_per_node =
+      n == 0 ? 0
+             : static_cast<double>(result.total_messages) /
+                   static_cast<double>(n);
+  for (NodeId v = 0; v < n; ++v) result.tables[v] = nodes[v].table;
+  return result;
+}
+
+}  // namespace disco

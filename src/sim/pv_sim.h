@@ -1,0 +1,58 @@
+// Discrete-event simulation of path-vector convergence (§5's "messages per
+// node until convergence", Fig. 8).
+//
+// All three data planes — plain path vector, NDDisco, S4 — run the *same*
+// asynchronous protocol and differ only in which route announcements a node
+// accepts into its table (§4.2):
+//   * path vector accepts every destination           -> Ω(n) state;
+//   * NDDisco accepts landmarks + the k closest seen  -> Θ(sqrt(n log n));
+//   * S4 accepts landmarks + its cluster rule d ≤ r_w -> unbounded.
+//
+// Mechanics: each node announces itself at t=0; a node that improves a
+// table entry enqueues the update to each neighbor; per-link output queues
+// coalesce pending updates for the same origin (RIB batching, as real
+// routers do) and drain after the link's delay. Every per-origin update
+// delivered over a link counts as one control message. The simulation runs
+// to quiescence — guaranteed because a node only re-advertises on a strict
+// distance improvement.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/landmarks.h"
+#include "routing/params.h"
+
+namespace disco {
+
+enum class PvMode {
+  kPathVector,  // accept everything
+  kNdDisco,     // landmarks + bounded k-closest vicinity
+  kS4,          // landmarks + cluster rule (d(v,w) ≤ d(w, l_w))
+};
+
+struct PvResult {
+  std::uint64_t total_messages = 0;
+  double messages_per_node = 0;
+  double convergence_time = 0;  // simulated time of the last delivery
+  /// Final table: per node, the accepted origins and route distances.
+  std::vector<std::unordered_map<NodeId, Dist>> tables;
+};
+
+struct PvConfig {
+  PvMode mode = PvMode::kPathVector;
+  /// Vicinity bound for kNdDisco (0 = derive from n via VicinitySize()).
+  std::size_t vicinity_k = 0;
+  /// Landmarks for kNdDisco/kS4; must outlive the call. If null, selected
+  /// from `params`.
+  const LandmarkSet* landmarks = nullptr;
+  Params params;
+};
+
+/// Runs the protocol to convergence and returns message counts + tables.
+PvResult SimulatePathVector(const Graph& g, const PvConfig& config);
+
+}  // namespace disco

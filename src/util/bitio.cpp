@@ -1,0 +1,32 @@
+#include "util/bitio.h"
+
+#include <cassert>
+
+namespace disco {
+
+void BitWriter::Write(std::uint64_t value, int bits) {
+  assert(bits >= 0 && bits <= 64);
+  assert(bits == 64 || (value >> bits) == 0);
+  for (int i = bits - 1; i >= 0; --i) {
+    const std::size_t byte = bit_size_ / 8;
+    if (byte == bytes_.size()) bytes_.push_back(0);
+    const int offset = 7 - static_cast<int>(bit_size_ % 8);
+    bytes_[byte] |= static_cast<std::uint8_t>(((value >> i) & 1) << offset);
+    ++bit_size_;
+  }
+}
+
+std::uint64_t BitReader::Read(int bits) {
+  assert(bits >= 0 && bits <= 64);
+  assert(pos_ + static_cast<std::size_t>(bits) <= bit_size_);
+  std::uint64_t out = 0;
+  for (int i = 0; i < bits; ++i) {
+    const std::size_t byte = pos_ / 8;
+    const int offset = 7 - static_cast<int>(pos_ % 8);
+    out = (out << 1) | (((*bytes_)[byte] >> offset) & 1);
+    ++pos_;
+  }
+  return out;
+}
+
+}  // namespace disco

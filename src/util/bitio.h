@@ -1,0 +1,51 @@
+// Bit-level writer/reader used by the compact source-route label codec
+// (util/compact_label.*). Values are written most-significant-bit first so
+// that encoded routes are byte-prefix comparable.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace disco {
+
+/// Appends variable-width unsigned values to a growing byte buffer.
+class BitWriter {
+ public:
+  /// Appends the low `bits` bits of `value` (MSB first). `bits` must be in
+  /// [0, 64] and `value` must fit in `bits` bits.
+  void Write(std::uint64_t value, int bits);
+
+  /// Number of bits written so far.
+  std::size_t bit_size() const { return bit_size_; }
+
+  /// Number of bytes needed to hold the written bits (rounded up).
+  std::size_t byte_size() const { return (bit_size_ + 7) / 8; }
+
+  /// The backing buffer; trailing pad bits of the last byte are zero.
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_size_ = 0;
+};
+
+/// Reads back values written by BitWriter, in the same order and widths.
+class BitReader {
+ public:
+  BitReader(const std::vector<std::uint8_t>& bytes, std::size_t bit_size)
+      : bytes_(&bytes), bit_size_(bit_size) {}
+
+  /// Reads the next `bits` bits as an unsigned value (MSB first).
+  /// `bits` must not run past the end of the stream.
+  std::uint64_t Read(int bits);
+
+  std::size_t bits_remaining() const { return bit_size_ - pos_; }
+
+ private:
+  const std::vector<std::uint8_t>* bytes_;
+  std::size_t bit_size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace disco

@@ -1,0 +1,34 @@
+#include "util/compact_label.h"
+
+#include <bit>
+#include <cassert>
+
+namespace disco {
+
+int LabelBits(std::uint32_t degree) {
+  if (degree <= 1) return 0;
+  return std::bit_width(degree - 1);
+}
+
+EncodedRoute EncodeRoute(std::span<const HopLabel> hops) {
+  BitWriter w;
+  for (const HopLabel& h : hops) {
+    assert(h.interface < std::max<std::uint32_t>(h.degree, 1));
+    w.Write(h.interface, LabelBits(h.degree));
+  }
+  EncodedRoute out;
+  out.bytes = w.bytes();
+  out.bit_size = w.bit_size();
+  out.num_hops = hops.size();
+  return out;
+}
+
+std::uint32_t LabelDecoder::Next(std::uint32_t degree) {
+  assert(hops_left_ > 0);
+  --hops_left_;
+  const int bits = LabelBits(degree);
+  if (bits == 0) return 0;
+  return static_cast<std::uint32_t>(reader_.Read(bits));
+}
+
+}  // namespace disco

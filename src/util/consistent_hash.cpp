@@ -1,0 +1,65 @@
+#include "util/consistent_hash.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace disco {
+
+ConsistentHashRing::ConsistentHashRing(
+    const std::vector<std::uint32_t>& members, int virtual_points)
+    : num_members_(members.size()) {
+  assert(!members.empty());
+  assert(virtual_points >= 1);
+  points_.reserve(members.size() * static_cast<std::size_t>(virtual_points));
+  for (const std::uint32_t m : members) {
+    for (int r = 0; r < virtual_points; ++r) {
+      const std::string key =
+          "chr-" + std::to_string(m) + "-" + std::to_string(r);
+      points_.push_back({HashName(key), m});
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::uint32_t ConsistentHashRing::Owner(HashValue key) const {
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const Point& p, HashValue k) { return p.position < k; });
+  if (it == points_.end()) it = points_.begin();  // wrap around
+  return it->member;
+}
+
+std::vector<std::uint32_t> ConsistentHashRing::Owners(HashValue key,
+                                                      int k) const {
+  std::vector<std::uint32_t> out;
+  std::unordered_set<std::uint32_t> seen;
+  const std::size_t want =
+      std::min<std::size_t>(static_cast<std::size_t>(std::max(k, 0)),
+                            num_members_);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const Point& p, HashValue kk) { return p.position < kk; });
+  for (std::size_t step = 0; step < points_.size() && out.size() < want;
+       ++step) {
+    if (it == points_.end()) it = points_.begin();
+    if (seen.insert(it->member).second) out.push_back(it->member);
+    ++it;
+  }
+  return out;
+}
+
+std::vector<std::pair<std::uint32_t, std::size_t>>
+ConsistentHashRing::CountOwnership(const std::vector<HashValue>& keys) const {
+  std::unordered_map<std::uint32_t, std::size_t> counts;
+  for (const Point& p : points_) counts.emplace(p.member, 0);
+  for (const HashValue k : keys) ++counts[Owner(k)];
+  std::vector<std::pair<std::uint32_t, std::size_t>> out(counts.begin(),
+                                                         counts.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace disco

@@ -1,0 +1,54 @@
+// Consistent hashing (Karger et al. [22]) over an arbitrary member set.
+//
+// Disco runs a name-resolution database over the globally known landmark set
+// (§4.3): the landmark that "owns" h(name) stores that node's current
+// address. Using multiple virtual points per member reduces the Θ(log n)
+// load imbalance of the single-hash construction (§4.5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hashring.h"
+
+namespace disco {
+
+class ConsistentHashRing {
+ public:
+  /// Builds a ring over `members` (arbitrary 32-bit ids, e.g. node ids).
+  /// Each member is inserted at `virtual_points` pseudo-random ring
+  /// positions derived from (member, replica index). `members` must be
+  /// non-empty and duplicate-free.
+  ConsistentHashRing(const std::vector<std::uint32_t>& members,
+                     int virtual_points = 8);
+
+  /// The member owning ring position `key`: the member whose virtual point
+  /// is the clockwise successor of `key`.
+  std::uint32_t Owner(HashValue key) const;
+
+  /// Owners of `key` under the first `k` distinct members encountered
+  /// clockwise (for replicated entries). k is clamped to the member count.
+  std::vector<std::uint32_t> Owners(HashValue key, int k) const;
+
+  std::size_t num_members() const { return num_members_; }
+
+  /// Number of keys from `keys` owned by each member id (for load-balance
+  /// accounting, e.g. resolution-DB entries per landmark).
+  /// Returned pairs are (member, count), covering every member.
+  std::vector<std::pair<std::uint32_t, std::size_t>> CountOwnership(
+      const std::vector<HashValue>& keys) const;
+
+ private:
+  struct Point {
+    HashValue position;
+    std::uint32_t member;
+    bool operator<(const Point& o) const {
+      return position < o.position ||
+             (position == o.position && member < o.member);
+    }
+  };
+  std::vector<Point> points_;  // sorted by position
+  std::size_t num_members_;
+};
+
+}  // namespace disco

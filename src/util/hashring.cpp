@@ -1,0 +1,43 @@
+#include "util/hashring.h"
+
+#include <bit>
+#include <cassert>
+
+#include "util/sha256.h"
+
+namespace disco {
+
+HashValue HashName(std::string_view name) {
+  const Sha256Digest d = Sha256Hash(name);
+  HashValue h = 0;
+  for (int i = 0; i < 8; ++i) h = (h << 8) | d[i];
+  return h;
+}
+
+std::uint64_t RingDistance(HashValue a, HashValue b) {
+  const std::uint64_t forward = b - a;   // wraps mod 2^64
+  const std::uint64_t backward = a - b;  // wraps mod 2^64
+  return std::min(forward, backward);
+}
+
+std::uint64_t ClockwiseDistance(HashValue from, HashValue to) {
+  return to - from;  // wraps mod 2^64
+}
+
+int CommonPrefixLength(HashValue a, HashValue b) {
+  const std::uint64_t x = a ^ b;
+  if (x == 0) return 64;
+  return std::countl_zero(x);
+}
+
+std::uint64_t GroupId(HashValue h, int bits) {
+  assert(bits >= 0 && bits <= 64);
+  if (bits == 0) return 0;
+  return h >> (64 - bits);
+}
+
+std::string DefaultName(std::uint64_t i) {
+  return "node-" + std::to_string(i);
+}
+
+}  // namespace disco

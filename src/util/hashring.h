@@ -1,0 +1,41 @@
+// Flat-name hashing and hash-ring arithmetic.
+//
+// A flat name is an arbitrary byte string (§2 of the paper). Disco maps it
+// onto a 64-bit circular hash space via SHA-256 truncation (§4.4). This
+// header provides the map plus the ring primitives every higher layer needs:
+// clockwise/circular distance, common-prefix length (used for sloppy-group
+// membership and vicinity prefix matching), and successor ordering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace disco {
+
+/// Position of a name on the 2^64 hash ring.
+using HashValue = std::uint64_t;
+
+/// h(name): the first 8 bytes (big-endian) of SHA-256(name).
+HashValue HashName(std::string_view name);
+
+/// Circular (undirected) distance between two ring positions:
+/// min(|a-b|, 2^64 - |a-b|).
+std::uint64_t RingDistance(HashValue a, HashValue b);
+
+/// Clockwise distance from `from` to `to` (wrapping), in [0, 2^64).
+std::uint64_t ClockwiseDistance(HashValue from, HashValue to);
+
+/// Number of leading bits on which `a` and `b` agree, in [0, 64].
+int CommonPrefixLength(HashValue a, HashValue b);
+
+/// The first `bits` bits of `h` (as the group identifier of §4.4);
+/// bits must be in [0, 64]. GroupId(h, 0) == 0 for all h.
+std::uint64_t GroupId(HashValue h, int bits);
+
+/// Default flat name for node `i` in synthetic topologies ("node-<i>").
+/// Any string works as a name; this is just the convention the simulators
+/// and tests use.
+std::string DefaultName(std::uint64_t i);
+
+}  // namespace disco

@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. Disco hashes flat node
+// names with SHA-2 (§4.4 of the paper); the 64-bit ring positions used by
+// sloppy groups and the overlay are the first 8 bytes of this digest.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string_view>
+
+namespace disco {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256. Usage: Update(...) any number of times, then
+/// Finalize() exactly once.
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(const void* data, std::size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  /// Completes the hash and returns the 32-byte digest. The object must not
+  /// be used after finalization.
+  Sha256Digest Finalize();
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience wrapper.
+Sha256Digest Sha256Hash(std::string_view data);
+
+}  // namespace disco

@@ -1,0 +1,67 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+namespace disco {
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary Summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+  s.min = values.front();
+  s.max = values.back();
+  s.p50 = Percentile(values, 0.50);
+  s.p95 = Percentile(values, 0.95);
+  s.p99 = Percentile(values, 0.99);
+  return s;
+}
+
+std::vector<CdfPoint> Cdf(std::vector<double> values, std::size_t max_points) {
+  std::vector<CdfPoint> out;
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  const std::size_t points = std::min(max_points, n);
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    // Evenly spaced ranks, always ending at the max.
+    const std::size_t rank =
+        (points == 1) ? n - 1 : i * (n - 1) / (points - 1);
+    out.push_back({values[rank],
+                   static_cast<double>(rank + 1) / static_cast<double>(n)});
+  }
+  return out;
+}
+
+std::string CdfToCsv(const std::vector<CdfPoint>& cdf) {
+  std::ostringstream os;
+  os << "value\tcdf\n";
+  for (const CdfPoint& p : cdf) os << p.value << '\t' << p.fraction << '\n';
+  return os.str();
+}
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << contents;
+  return static_cast<bool>(f);
+}
+
+}  // namespace disco

@@ -1,0 +1,47 @@
+// Summary statistics and CDF extraction used by the benchmark harness to
+// print the paper's figures as tables and CSV series.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace disco {
+
+/// Five-number style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// Computes a Summary. Returns an all-zero summary for an empty sample.
+Summary Summarize(std::vector<double> values);
+
+/// Percentile by linear interpolation between closest ranks; q in [0, 1].
+/// `sorted` must be non-empty and ascending.
+double Percentile(const std::vector<double>& sorted, double q);
+
+/// One point of an empirical CDF: fraction of samples <= value.
+struct CdfPoint {
+  double value = 0;
+  double fraction = 0;
+};
+
+/// Reduces a sample to `max_points` evenly spaced (by rank) CDF points.
+/// Always includes the minimum and maximum.
+std::vector<CdfPoint> Cdf(std::vector<double> values,
+                          std::size_t max_points = 64);
+
+/// Renders CDF points as "value<TAB>fraction" lines (for CSV output).
+std::string CdfToCsv(const std::vector<CdfPoint>& cdf);
+
+/// Writes a string to a file, replacing its contents. Returns false on I/O
+/// failure (the bench harness warns but continues).
+bool WriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace disco

@@ -1,0 +1,80 @@
+#include "util/synopsis.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace disco {
+namespace {
+
+// SplitMix64 finalizer; mixes (element, bitmap index) into a uniform word.
+std::uint64_t Mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Geometric level: P(level = k) = 2^-(k+1), capped at 63.
+int Level(std::uint64_t word) {
+  const int tz = std::countr_zero(word);
+  return tz >= 64 ? 63 : std::min(tz, 63);
+}
+
+constexpr double kFmPhi = 0.77351;  // Flajolet–Martin correction factor
+
+}  // namespace
+
+Synopsis::Synopsis(int num_bitmaps)
+    : bitmaps_(static_cast<std::size_t>(num_bitmaps), 0) {
+  assert(num_bitmaps > 0);
+}
+
+Synopsis Synopsis::ForElement(std::uint64_t element, int num_bitmaps) {
+  Synopsis s(num_bitmaps);
+  for (std::size_t j = 0; j < s.bitmaps_.size(); ++j) {
+    const std::uint64_t w = Mix(element * 0x9e3779b97f4a7c15ULL + j + 1);
+    s.bitmaps_[j] = 1ULL << Level(w);
+  }
+  return s;
+}
+
+void Synopsis::Merge(const Synopsis& other) {
+  assert(bitmaps_.size() == other.bitmaps_.size());
+  for (std::size_t j = 0; j < bitmaps_.size(); ++j) {
+    bitmaps_[j] |= other.bitmaps_[j];
+  }
+}
+
+double Synopsis::Estimate() const {
+  double sum_levels = 0;
+  for (const std::uint64_t bm : bitmaps_) {
+    // First-zero position: lowest bit index not set.
+    sum_levels += std::countr_one(bm);
+  }
+  const double mean = sum_levels / static_cast<double>(bitmaps_.size());
+  return std::pow(2.0, mean) / kFmPhi;
+}
+
+std::vector<double> GossipEstimates(
+    const std::vector<std::vector<std::uint32_t>>& adj, int rounds,
+    int num_bitmaps) {
+  const std::size_t n = adj.size();
+  std::vector<Synopsis> cur;
+  cur.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    cur.push_back(Synopsis::ForElement(v, num_bitmaps));
+  }
+  std::vector<Synopsis> next = cur;
+  for (int r = 0; r < rounds; ++r) {
+    for (std::size_t v = 0; v < n; ++v) {
+      next[v] = cur[v];
+      for (const std::uint32_t u : adj[v]) next[v].Merge(cur[u]);
+    }
+    std::swap(cur, next);
+  }
+  std::vector<double> est(n);
+  for (std::size_t v = 0; v < n; ++v) est[v] = cur[v].Estimate();
+  return est;
+}
+
+}  // namespace disco

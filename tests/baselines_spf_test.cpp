@@ -1,0 +1,54 @@
+#include "baselines/spf.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/shortest_path.h"
+#include "test_util.h"
+
+namespace disco {
+namespace {
+
+TEST(Spf, RoutesAreShortest) {
+  const Graph g = ConnectedGeometric(256, 8.0, 1);
+  ShortestPathRouting spf(g);
+  for (NodeId s = 0; s < g.num_nodes(); s += 31) {
+    const auto truth = Dijkstra(g, s);
+    for (NodeId t = 1; t < g.num_nodes(); t += 29) {
+      if (s == t) continue;
+      const Route r = spf.RoutePacket(s, t);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r.path.front(), s);
+      EXPECT_EQ(r.path.back(), t);
+      EXPECT_NEAR(r.length, truth.dist[t], 1e-9);
+    }
+  }
+}
+
+TEST(Spf, StateIsLinear) {
+  const Graph g = ConnectedGnm(128, 512, 3);
+  const ShortestPathRouting spf(g);
+  EXPECT_EQ(spf.State(0).fib_entries, g.num_nodes());
+  EXPECT_EQ(spf.State(0).total(), g.num_nodes());
+}
+
+TEST(Spf, CacheReuseIsTransparent) {
+  const Graph g = ConnectedGnm(128, 512, 5);
+  ShortestPathRouting spf(g, 2);  // tiny cache forces eviction
+  const Route a = spf.RoutePacket(0, 100);
+  spf.RoutePacket(0, 50);
+  spf.RoutePacket(0, 60);
+  const Route b = spf.RoutePacket(0, 100);  // recomputed after eviction
+  EXPECT_EQ(a.path, b.path);
+}
+
+TEST(Spf, SelfRoute) {
+  const Graph g = testing::PathGraph(4);
+  ShortestPathRouting spf(g);
+  const Route r = spf.RoutePacket(2, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.length, 0.0);
+}
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,123 @@
+#include "baselines/vrr.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/shortest_path.h"
+#include "test_util.h"
+
+namespace disco {
+namespace {
+
+Params WithSeed(std::uint64_t seed) {
+  Params p;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Vrr, EveryNodeHasVsetEntries) {
+  const Graph g = ConnectedGnm(256, 1024, 1);
+  const Vrr vrr(g, WithSeed(1));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(vrr.EntriesAt(v).size(), 2u) << "node " << v;
+  }
+}
+
+TEST(Vrr, PathEntriesAreLocallyConsistent) {
+  const Graph g = ConnectedGnm(256, 1024, 3);
+  const Vrr vrr(g, WithSeed(3));
+  for (NodeId v = 0; v < g.num_nodes(); v += 17) {
+    for (const Vrr::PathEntry& e : vrr.EntriesAt(v)) {
+      // Endpoint side has no next hop toward itself; transit nodes have
+      // both next hops, and each next hop is a physical neighbor.
+      if (v == e.endpoint_a) {
+        EXPECT_EQ(e.next_toward_a, kInvalidNode);
+        EXPECT_NE(e.next_toward_b, kInvalidNode);
+      }
+      if (e.next_toward_a != kInvalidNode) {
+        EXPECT_GE(g.InterfaceTo(v, e.next_toward_a), 0);
+      }
+      if (e.next_toward_b != kInvalidNode) {
+        EXPECT_GE(g.InterfaceTo(v, e.next_toward_b), 0);
+      }
+    }
+  }
+}
+
+class VrrReachability : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VrrReachability, AllSampledPairsDeliver) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = ConnectedGnm(512, 2048, seed);
+  const Vrr vrr(g, WithSeed(seed));
+  for (NodeId s = 0; s < g.num_nodes(); s += 43) {
+    for (NodeId t = 1; t < g.num_nodes(); t += 47) {
+      if (s == t) continue;
+      const Route r = vrr.RoutePacket(s, t);
+      ASSERT_TRUE(r.ok()) << s << " -> " << t;
+      EXPECT_EQ(r.path.front(), s);
+      EXPECT_EQ(r.path.back(), t);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VrrReachability,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Vrr, StretchAtLeastOneAndOftenHigh) {
+  const Graph g = ConnectedGeometric(512, 8.0, 7);
+  const Vrr vrr(g, WithSeed(7));
+  double worst = 0, sum = 0;
+  int count = 0;
+  for (NodeId s = 0; s < g.num_nodes(); s += 31) {
+    const auto truth = Dijkstra(g, s);
+    for (NodeId t = 1; t < g.num_nodes(); t += 37) {
+      if (s == t || truth.dist[t] <= 0) continue;
+      const Route r = vrr.RoutePacket(s, t);
+      ASSERT_TRUE(r.ok());
+      const double stretch = r.length / truth.dist[t];
+      EXPECT_GE(stretch, 1.0 - 1e-9);
+      worst = std::max(worst, stretch);
+      sum += stretch;
+      ++count;
+    }
+  }
+  // VRR has no stretch bound; on latency-annotated geometric graphs its
+  // virtual-ring hops wander (Fig. 5 middle).
+  EXPECT_GT(worst, 3.0);
+  EXPECT_GT(sum / count, 1.2);
+}
+
+TEST(Vrr, StateIsHighlySkewed) {
+  // End-to-end vset paths pile onto central nodes (Fig. 4/5 left).
+  const Graph g = ConnectedGnm(512, 2048, 9);
+  const Vrr vrr(g, WithSeed(9));
+  std::size_t max_state = 0, total = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::size_t s = vrr.State(v).vset_entries;
+    max_state = std::max(max_state, s);
+    total += s;
+  }
+  const double mean = static_cast<double>(total) /
+                      static_cast<double>(g.num_nodes());
+  EXPECT_GT(static_cast<double>(max_state), 3.0 * mean);
+}
+
+TEST(Vrr, SelfRouteTrivial) {
+  const Graph g = ConnectedGnm(128, 512, 11);
+  const Vrr vrr(g, WithSeed(11));
+  const Route r = vrr.RoutePacket(5, 5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.path, std::vector<NodeId>{5});
+}
+
+TEST(Vrr, WorksOnRingTopology) {
+  const Graph g = Ring(64);
+  const Vrr vrr(g, WithSeed(13));
+  for (NodeId t = 1; t < 64; t += 7) {
+    EXPECT_TRUE(vrr.RoutePacket(0, t).ok()) << t;
+  }
+}
+
+}  // namespace
+}  // namespace disco

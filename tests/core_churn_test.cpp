@@ -1,0 +1,131 @@
+#include "core/churn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace disco {
+namespace {
+
+Params WithSeed(std::uint64_t seed) {
+  Params p;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Churn, InitialStateMatchesStaticSelection) {
+  ChurnSimulator sim(1024, WithSeed(3));
+  EXPECT_EQ(sim.n(), 1024u);
+  const double expected = 1024 * LandmarkProbability(1024);
+  EXPECT_GT(sim.num_landmarks(), expected * 0.5);
+  EXPECT_LT(sim.num_landmarks(), expected * 1.6);
+  EXPECT_EQ(sim.group_bits(), SloppyGroupBits(1024.0));
+}
+
+TEST(Churn, NoReevaluationWithinFactorTwo) {
+  // Growing from n to 1.9n must not trigger any existing node's
+  // re-evaluation (only newcomers flip their own coins).
+  ChurnSimulator sim(1000, WithSeed(5));
+  std::size_t reevals = 0;
+  for (int i = 0; i < 899; ++i) reevals += sim.AddNode().nodes_reevaluated;
+  EXPECT_EQ(reevals, 0u);
+}
+
+TEST(Churn, ReevaluationFiresAtFactorTwo) {
+  ChurnSimulator sim(512, WithSeed(7));
+  std::size_t reevals = 0;
+  for (int i = 0; i < 512; ++i) reevals += sim.AddNode().nodes_reevaluated;
+  EXPECT_GT(reevals, 0u);  // n doubled: the original cohort re-evaluates
+}
+
+TEST(Churn, AmortizedLandmarkFlipsPerJoinAreSmall) {
+  // §4.2's claim: landmark churn is amortized over Ω(n) membership events.
+  ChurnSimulator sim(256, WithSeed(9));
+  for (int i = 0; i < 4096 - 256; ++i) sim.AddNode();
+  const double flips_per_event =
+      static_cast<double>(sim.total_landmark_flips()) /
+      static_cast<double>(sim.total_membership_events());
+  // sqrt-scale landmark population over linear events: far below 1.
+  EXPECT_LT(flips_per_event, 0.25);
+  EXPECT_GT(sim.num_landmarks(), 0u);
+}
+
+TEST(Churn, LandmarkCountTracksSqrtScale) {
+  ChurnSimulator sim(256, WithSeed(11));
+  for (int i = 0; i < 16384 - 256; ++i) sim.AddNode();
+  const double expected = 16384 * LandmarkProbability(16384);
+  EXPECT_GT(static_cast<double>(sim.num_landmarks()), expected * 0.6);
+  EXPECT_LT(static_cast<double>(sim.num_landmarks()), expected * 1.6);
+}
+
+TEST(Churn, GroupBitsGrowWithN) {
+  ChurnSimulator sim(256, WithSeed(13));
+  const int initial_bits = sim.group_bits();
+  for (int i = 0; i < 65536 - 256; ++i) sim.AddNode();
+  EXPECT_GT(sim.group_bits(), initial_bits);
+  // Each group change is one split as n grows; no merges on the way up.
+  EXPECT_EQ(sim.total_group_changes(),
+            static_cast<std::uint64_t>(sim.group_bits() - initial_bits));
+}
+
+TEST(Churn, HysteresisPreventsGroupFlapping) {
+  // Oscillate n by ±5% around a bits boundary: no group changes at all.
+  ChurnSimulator sim(2048, WithSeed(15));
+  const int bits = sim.group_bits();
+  const std::uint64_t changes_before = sim.total_group_changes();
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    for (int i = 0; i < 100; ++i) sim.AddNode();
+    for (int i = 0; i < 100; ++i) sim.RemoveNode();
+  }
+  EXPECT_EQ(sim.group_bits(), bits);
+  EXPECT_EQ(sim.total_group_changes(), changes_before);
+}
+
+TEST(Churn, RemoveUndoesAdd) {
+  ChurnSimulator sim(512, WithSeed(17));
+  const std::size_t landmarks_before = sim.num_landmarks();
+  sim.AddNode();
+  sim.RemoveNode();
+  EXPECT_EQ(sim.n(), 512u);
+  EXPECT_EQ(sim.num_landmarks(), landmarks_before);
+}
+
+TEST(Churn, DeterministicPerSeed) {
+  ChurnSimulator a(256, WithSeed(19)), b(256, WithSeed(19));
+  for (int i = 0; i < 1000; ++i) {
+    a.AddNode();
+    b.AddNode();
+  }
+  EXPECT_EQ(a.num_landmarks(), b.num_landmarks());
+  EXPECT_EQ(a.total_landmark_flips(), b.total_landmark_flips());
+}
+
+TEST(Churn, CoinsAreStableAcrossGrowth) {
+  // A node that is a landmark at size n with coin far below threshold must
+  // remain one until the threshold halves past its coin — status is a pure
+  // function of (coin, n at last evaluation), never re-randomized.
+  ChurnSimulator sim(1024, WithSeed(21));
+  std::vector<NodeId> initial;
+  for (NodeId v = 0; v < 1024; ++v) {
+    if (sim.IsLandmark(v)) initial.push_back(v);
+  }
+  for (int i = 0; i < 500; ++i) sim.AddNode();  // < 2x: nothing re-flips
+  for (const NodeId v : initial) EXPECT_TRUE(sim.IsLandmark(v)) << v;
+}
+
+class ChurnGrowthSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnGrowthSweep, FlipsStaySublinearAcrossSeeds) {
+  ChurnSimulator sim(128, WithSeed(GetParam()));
+  for (int i = 0; i < 8192 - 128; ++i) sim.AddNode();
+  // Total flips ~ final landmark count (+ re-flip cohorts), decisively
+  // below the number of membership events.
+  EXPECT_LT(sim.total_landmark_flips(),
+            sim.total_membership_events() / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnGrowthSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,49 @@
+#include "core/names.h"
+
+#include <gtest/gtest.h>
+
+namespace disco {
+namespace {
+
+TEST(NameTable, DefaultNames) {
+  const NameTable t = NameTable::Default(5);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.name(0), "node-0");
+  EXPECT_EQ(t.name(4), "node-4");
+}
+
+TEST(NameTable, HashesMatchHashName) {
+  const NameTable t = NameTable::Default(10);
+  for (NodeId v = 0; v < 10; ++v) {
+    EXPECT_EQ(t.hash(v), HashName(t.name(v)));
+  }
+}
+
+TEST(NameTable, FindRoundTrip) {
+  const NameTable t = NameTable::Default(100);
+  for (NodeId v = 0; v < 100; v += 9) {
+    const auto found = t.Find(t.name(v));
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, v);
+  }
+  EXPECT_FALSE(t.Find("not-a-node").has_value());
+}
+
+TEST(NameTable, CustomFlatNames) {
+  // Names are arbitrary bit strings: DNS-ish, MAC-ish, key-hash-ish.
+  const NameTable t = NameTable::FromNames(
+      {"printer.floor3.example.com", "02:42:ac:11:00:02",
+       "sha256:9f86d081884c7d659a2feaa0c55ad015"});
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(*t.Find("02:42:ac:11:00:02"), 1u);
+  EXPECT_NE(t.hash(0), t.hash(1));
+}
+
+TEST(NameTable, HashesVectorExposed) {
+  const NameTable t = NameTable::Default(7);
+  ASSERT_EQ(t.hashes().size(), 7u);
+  EXPECT_EQ(t.hashes()[3], t.hash(3));
+}
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,131 @@
+#include "core/overlay.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace disco {
+namespace {
+
+struct OverlayFixture {
+  NameTable names;
+  SloppyGroups groups;
+  Params params;
+  Overlay overlay;
+
+  OverlayFixture(NodeId n, int fingers, std::uint64_t seed = 1)
+      : names(NameTable::Default(n)), groups(names, n),
+        params([&] {
+          Params p;
+          p.fingers = fingers;
+          p.seed = seed;
+          return p;
+        }()),
+        overlay(names, groups, params) {}
+};
+
+TEST(Overlay, AdjacencyIsSymmetric) {
+  OverlayFixture f(512, 1);
+  for (NodeId v = 0; v < 512; ++v) {
+    for (const NodeId w : f.overlay.neighbors(v)) {
+      const auto& back = f.overlay.neighbors(w);
+      EXPECT_TRUE(std::find(back.begin(), back.end(), v) != back.end())
+          << v << " <-> " << w;
+    }
+  }
+}
+
+TEST(Overlay, NoSelfLoopsOrDuplicates) {
+  OverlayFixture f(512, 3);
+  for (NodeId v = 0; v < 512; ++v) {
+    const auto& nb = f.overlay.neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      EXPECT_NE(nb[i], v);
+      if (i > 0) EXPECT_LT(nb[i - 1], nb[i]);  // sorted unique
+    }
+  }
+}
+
+TEST(Overlay, AverageDegreeMatchesPaper) {
+  // ~4 connections with 1 finger, ~8 with 3 (§4.4), counting both
+  // directions; ring links contribute 2.
+  OverlayFixture one(2048, 1);
+  OverlayFixture three(2048, 3, 2);
+  double sum1 = 0, sum3 = 0;
+  for (NodeId v = 0; v < 2048; ++v) {
+    sum1 += static_cast<double>(one.overlay.degree(v));
+    sum3 += static_cast<double>(three.overlay.degree(v));
+  }
+  EXPECT_NEAR(sum1 / 2048, 4.0, 1.0);
+  EXPECT_NEAR(sum3 / 2048, 8.0, 1.5);
+}
+
+TEST(Overlay, DisseminationCoversGroup) {
+  // Correctness requirement of §4.4: v's announcement must reach all of
+  // G(v) (the succ/pred chain alone guarantees it).
+  OverlayFixture f(1024, 1);
+  for (NodeId v = 0; v < 1024; v += 41) {
+    const auto d = f.overlay.Disseminate(v);
+    EXPECT_TRUE(d.covered_group) << "node " << v << " reached " << d.reached
+                                 << "/" << d.group_size;
+  }
+}
+
+TEST(Overlay, DisseminationMessageCountBounded) {
+  // Constant average overlay degree ⇒ each member receives O(1) copies.
+  OverlayFixture f(1024, 1);
+  const auto d = f.overlay.Disseminate(17);
+  EXPECT_GT(d.messages, d.group_size / 2);     // at least reaches everyone
+  EXPECT_LT(d.messages, d.group_size * 6);     // few duplicate copies
+}
+
+TEST(Overlay, MoreFingersShortenDissemination) {
+  // The §5.2 observation: 3 fingers cut announcement hop distances vs 1
+  // finger at slightly more messages.
+  OverlayFixture one(1024, 1);
+  OverlayFixture three(1024, 3);
+  double mean1 = 0, mean3 = 0;
+  std::uint64_t msg1 = 0, msg3 = 0;
+  int count = 0;
+  for (NodeId v = 0; v < 1024; v += 11) {
+    const auto d1 = one.overlay.Disseminate(v);
+    const auto d3 = three.overlay.Disseminate(v);
+    mean1 += d1.mean_hops;
+    mean3 += d3.mean_hops;
+    msg1 += d1.messages;
+    msg3 += d3.messages;
+    ++count;
+  }
+  mean1 /= count;
+  mean3 /= count;
+  EXPECT_LT(mean3, mean1);
+  EXPECT_GE(msg3, msg1);
+}
+
+TEST(Overlay, SendsListMatchesMessageCount) {
+  OverlayFixture f(512, 1);
+  std::vector<std::pair<NodeId, NodeId>> sends;
+  const auto d = f.overlay.Disseminate(5, &sends);
+  EXPECT_EQ(sends.size(), d.messages);
+}
+
+TEST(Overlay, DirectionalSendsAreMonotone) {
+  // Every relay must move strictly away from the origin in hash space —
+  // the structural count-to-infinity fix.
+  OverlayFixture f(512, 3);
+  std::vector<std::pair<NodeId, NodeId>> sends;
+  f.overlay.Disseminate(9, &sends);
+  for (const auto& [u, w] : sends) {
+    EXPECT_NE(f.names.hash(u), f.names.hash(w));
+  }
+}
+
+TEST(Overlay, TinyNetworks) {
+  OverlayFixture f(2, 1);
+  EXPECT_EQ(f.overlay.degree(0), 1u);
+  const auto d = f.overlay.Disseminate(0);
+  EXPECT_TRUE(d.covered_group);
+}
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "test_util.h"
+
+namespace disco {
+namespace {
+
+using testing::PathGraph;
+
+TEST(Components, SingleComponent) {
+  EXPECT_EQ(NumComponents(PathGraph(5)), 1u);
+  EXPECT_TRUE(IsConnected(PathGraph(5)));
+}
+
+TEST(Components, DisjointPieces) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1.0}, {2, 3, 1.0}};
+  const Graph g = Graph::FromEdges(5, edges);  // node 4 isolated
+  EXPECT_EQ(NumComponents(g), 3u);
+  EXPECT_FALSE(IsConnected(g));
+}
+
+TEST(Components, LabelsAreConsistent) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1.0}, {2, 3, 1.0},
+                                           {3, 4, 1.0}};
+  const Graph g = Graph::FromEdges(5, edges);
+  const auto labels = ComponentLabels(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[2]);
+}
+
+TEST(Components, LargestComponentExtraction) {
+  // Component A: 0-1 (2 nodes). Component B: 2-3-4-5 (4 nodes).
+  const std::vector<WeightedEdge> edges = {
+      {0, 1, 1.0}, {2, 3, 1.0}, {3, 4, 1.0}, {4, 5, 1.0}};
+  const Graph g = Graph::FromEdges(6, edges);
+  std::vector<NodeId> map;
+  const Graph lcc = LargestComponent(g, &map);
+  EXPECT_EQ(lcc.num_nodes(), 4u);
+  EXPECT_EQ(lcc.num_edges(), 3u);
+  EXPECT_TRUE(IsConnected(lcc));
+  EXPECT_EQ(map[0], kInvalidNode);
+  EXPECT_EQ(map[1], kInvalidNode);
+  EXPECT_NE(map[2], kInvalidNode);
+}
+
+TEST(Components, LargestComponentPreservesWeights) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 2.5}, {1, 2, 3.5},
+                                           {3, 4, 9.0}};
+  const Graph g = Graph::FromEdges(5, edges);
+  const Graph lcc = LargestComponent(g);
+  EXPECT_EQ(lcc.num_nodes(), 3u);
+  EXPECT_DOUBLE_EQ(lcc.total_weight(), 6.0);
+}
+
+TEST(Components, EmptyGraph) {
+  const Graph g = Graph::FromEdges(0, {});
+  EXPECT_EQ(NumComponents(g), 0u);
+  EXPECT_EQ(LargestComponent(g).num_nodes(), 0u);
+}
+
+TEST(EdgeListIo, SaveLoadRoundTrip) {
+  const Graph g = ConnectedGnm(64, 200, 3);
+  const std::string path = ::testing::TempDir() + "/disco_io_test.edges";
+  ASSERT_TRUE(SaveEdgeList(g, path));
+  const auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+  EXPECT_DOUBLE_EQ(loaded->total_weight(), g.total_weight());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, ParsesCommentsAndDefaults) {
+  const std::string path = ::testing::TempDir() + "/disco_io_test2.edges";
+  {
+    std::ofstream f(path);
+    f << "# a comment line\n"
+      << "10 20\n"           // weight defaults to 1
+      << "20 30 2.5 # tail\n"
+      << "\n";
+  }
+  const auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_nodes(), 3u);  // ids remapped densely
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g->total_weight(), 3.5);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(LoadEdgeList("/nonexistent/file.edges").has_value());
+}
+
+TEST(EdgeListIo, RejectsNonPositiveWeights) {
+  const std::string path = ::testing::TempDir() + "/disco_io_test3.edges";
+  {
+    std::ofstream f(path);
+    f << "0 1 -2\n";
+  }
+  EXPECT_FALSE(LoadEdgeList(path).has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace disco

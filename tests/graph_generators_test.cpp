@@ -1,0 +1,162 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "graph/components.h"
+#include "graph/shortest_path.h"
+
+namespace disco {
+namespace {
+
+TEST(Gnm, ExactEdgeCount) {
+  const Graph g = Gnm(100, 400, 1);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 400u);
+}
+
+TEST(Gnm, NoDuplicateEdgesOrSelfLoops) {
+  const Graph g = Gnm(50, 200, 2);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    auto [a, b, w] = g.edge(e);
+    EXPECT_NE(a, b);
+    const auto key = std::minmax(a, b);
+    EXPECT_TRUE(seen.insert(key).second) << a << "-" << b;
+  }
+}
+
+TEST(Gnm, DeterministicPerSeed) {
+  const Graph a = Gnm(64, 256, 5), b = Gnm(64, 256, 5);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).a, b.edge(e).a);
+    EXPECT_EQ(a.edge(e).b, b.edge(e).b);
+  }
+}
+
+TEST(Gnm, ConnectedVariantIsConnected) {
+  // Sparse enough that G(n,m) is often disconnected.
+  const Graph g = ConnectedGnm(200, 220, 3);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_LE(g.num_nodes(), 200u);
+  EXPECT_GT(g.num_nodes(), 100u);  // the LCC should dominate at this density
+}
+
+TEST(Geometric, WeightsAreEuclidean) {
+  const Graph g = RandomGeometric(500, 8.0, 7);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_GT(g.edge(e).weight, 0.0);
+    EXPECT_LT(g.edge(e).weight, 0.2);  // radius for avg degree 8 at n=500
+  }
+}
+
+TEST(Geometric, AverageDegreeNearTarget) {
+  const Graph g = RandomGeometric(4096, 8.0, 11);
+  const double avg = 2.0 * static_cast<double>(g.num_edges()) /
+                     static_cast<double>(g.num_nodes());
+  EXPECT_GT(avg, 5.5);
+  EXPECT_LT(avg, 10.5);
+}
+
+TEST(Geometric, ConnectedVariantIsConnected) {
+  EXPECT_TRUE(IsConnected(ConnectedGeometric(1024, 8.0, 13)));
+}
+
+TEST(BarabasiAlbert, ConnectedWithHeavyTail) {
+  const Graph g = BarabasiAlbert(2048, 2, 17);
+  EXPECT_TRUE(IsConnected(g));
+  std::uint32_t max_degree = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_degree = std::max(max_degree, g.degree(v));
+  }
+  // Preferential attachment: hubs with degree ~sqrt(n) scale.
+  EXPECT_GT(max_degree, 40u);
+  const double avg = 2.0 * static_cast<double>(g.num_edges()) /
+                     static_cast<double>(g.num_nodes());
+  EXPECT_NEAR(avg, 4.0, 0.5);  // m = 2 -> avg degree ~4
+}
+
+TEST(BarabasiAlbert, MinimumDegreeIsM) {
+  const Graph g = BarabasiAlbert(256, 3, 19);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_GE(g.degree(v), 3u);
+}
+
+TEST(AsLevel, MatchesBarabasiAlbertShape) {
+  const Graph g = AsLevelInternet(1024, 23);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(g.num_nodes(), 1024u);
+}
+
+TEST(RouterLevel, ConnectedAndModerateDegrees) {
+  const Graph g = RouterLevelInternet(4096, 29);
+  EXPECT_EQ(g.num_nodes(), 4096u);
+  EXPECT_TRUE(IsConnected(g));
+  std::uint32_t max_degree = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_degree = std::max(max_degree, g.degree(v));
+  }
+  // Router maps have bounded hubs compared to AS maps.
+  EXPECT_LT(max_degree, 200u);
+}
+
+TEST(RouterLevel, PathsLongerThanAsLevel) {
+  // The two-level structure must produce longer typical paths than the
+  // AS-like map at the same size (this drives address sizes, §4.2).
+  const Graph router = RouterLevelInternet(2048, 31);
+  const Graph as = AsLevelInternet(2048, 31);
+  const auto rt = Dijkstra(router, 0);
+  const auto at = Dijkstra(as, 0);
+  double rsum = 0, asum = 0;
+  for (NodeId v = 0; v < 2048; ++v) {
+    rsum += rt.dist[v];
+    asum += at.dist[v];
+  }
+  EXPECT_GT(rsum, asum);
+}
+
+TEST(Ring, StructureAndDiameter) {
+  const Graph g = Ring(16);
+  EXPECT_EQ(g.num_edges(), 16u);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_DOUBLE_EQ(Dijkstra(g, 0).dist[8], 8.0);
+}
+
+TEST(Grid, StructureAndDistances) {
+  const Graph g = Grid(4, 5);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_EQ(g.num_edges(), 4u * 4 + 3u * 5);  // horizontal + vertical
+  EXPECT_DOUBLE_EQ(Dijkstra(g, 0).dist[19], 3.0 + 4.0);  // Manhattan
+}
+
+TEST(S4WorstCaseTree, ShapeMatchesFootnote6) {
+  const NodeId b = 10;
+  const Graph g = S4WorstCaseTree(b);
+  EXPECT_EQ(g.num_nodes(), 1 + b + b * b);
+  EXPECT_EQ(g.degree(0), b);  // root
+  const auto t = Dijkstra(g, 0);
+  for (NodeId c = 1; c <= b; ++c) EXPECT_DOUBLE_EQ(t.dist[c], 1.0);
+  for (NodeId gc = b + 1; gc < g.num_nodes(); ++gc) {
+    EXPECT_DOUBLE_EQ(t.dist[gc], 3.0);  // 1 (root-child) + 2 (child-gc)
+  }
+}
+
+class GeneratorConnectivitySweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorConnectivitySweep, AllFamiliesYieldUsableGraphs) {
+  const std::uint64_t seed = GetParam();
+  EXPECT_TRUE(IsConnected(ConnectedGnm(256, 1024, seed)));
+  EXPECT_TRUE(IsConnected(ConnectedGeometric(256, 8.0, seed)));
+  EXPECT_TRUE(IsConnected(BarabasiAlbert(256, 2, seed)));
+  EXPECT_TRUE(IsConnected(RouterLevelInternet(256, seed)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorConnectivitySweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace disco

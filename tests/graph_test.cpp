@@ -1,0 +1,113 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+
+namespace disco {
+namespace {
+
+using testing::DiamondGraph;
+using testing::PathGraph;
+using testing::StarGraph;
+
+TEST(Graph, EmptyGraph) {
+  const Graph g = Graph::FromEdges(0, {});
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, SingleEdge) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 2.5}};
+  const Graph g = Graph::FromEdges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.neighbors(0)[0].to, 1u);
+  EXPECT_DOUBLE_EQ(g.neighbors(0)[0].weight, 2.5);
+}
+
+TEST(Graph, SelfLoopsAreDropped) {
+  const std::vector<WeightedEdge> edges = {{0, 0, 1.0}, {0, 1, 1.0}};
+  const Graph g = Graph::FromEdges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, UndirectedSymmetry) {
+  const Graph g = DiamondGraph();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const Neighbor& nb : g.neighbors(v)) {
+      bool found_reverse = false;
+      for (const Neighbor& back : g.neighbors(nb.to)) {
+        if (back.to == v && back.edge == nb.edge) found_reverse = true;
+      }
+      EXPECT_TRUE(found_reverse) << v << " -> " << nb.to;
+    }
+  }
+}
+
+TEST(Graph, EdgeIdsSharedAcrossDirections) {
+  const Graph g = PathGraph(3);
+  std::set<EdgeId> ids;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const Neighbor& nb : g.neighbors(v)) ids.insert(nb.edge);
+  }
+  EXPECT_EQ(ids.size(), g.num_edges());
+}
+
+TEST(Graph, DegreeSumIsTwiceEdges) {
+  const Graph g = DiamondGraph();
+  std::size_t sum = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) sum += g.degree(v);
+  EXPECT_EQ(sum, 2 * g.num_edges());
+}
+
+TEST(Graph, StarDegrees) {
+  const Graph g = StarGraph(10);
+  EXPECT_EQ(g.degree(0), 10u);
+  for (NodeId v = 1; v <= 10; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(Graph, InterfaceToFindsNeighbor) {
+  const Graph g = DiamondGraph();
+  const int iface = g.InterfaceTo(0, 2);
+  ASSERT_GE(iface, 0);
+  EXPECT_EQ(g.neighbors(0)[static_cast<std::size_t>(iface)].to, 2u);
+  EXPECT_EQ(g.InterfaceTo(1, 2), -1);  // not adjacent
+}
+
+TEST(Graph, ParallelEdgesKept) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1.0}, {0, 1, 3.0}};
+  const Graph g = Graph::FromEdges(2, edges);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(Graph, TotalWeight) {
+  EXPECT_DOUBLE_EQ(DiamondGraph().total_weight(), 1.0 + 1.0 + 1.5 + 1.5);
+}
+
+TEST(Graph, AdjacencyListsMatchNeighbors) {
+  const Graph g = DiamondGraph();
+  const auto adj = g.AdjacencyLists();
+  ASSERT_EQ(adj.size(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(adj[v].size(), g.degree(v));
+    for (std::size_t i = 0; i < adj[v].size(); ++i) {
+      EXPECT_EQ(adj[v][i], g.neighbors(v)[i].to);
+    }
+  }
+}
+
+TEST(Graph, EdgeAccessor) {
+  const Graph g = DiamondGraph();
+  const WeightedEdge& e = g.edge(0);
+  EXPECT_EQ(e.a, 0u);
+  EXPECT_EQ(e.b, 1u);
+}
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,123 @@
+#include "routing/block_address.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/generators.h"
+#include "graph/shortest_path.h"
+#include "test_util.h"
+
+namespace disco {
+namespace {
+
+Params WithSeed(std::uint64_t seed) {
+  Params p;
+  p.seed = seed;
+  return p;
+}
+
+struct Fixture {
+  Graph g;
+  LandmarkSet landmarks;
+  AddressBook book;
+
+  Fixture(Graph graph, std::uint64_t seed)
+      : g(std::move(graph)),
+        landmarks(SelectLandmarks(g.num_nodes(), WithSeed(seed))),
+        book(g, landmarks) {}
+};
+
+TEST(BlockAddress, WidthIsLogOfLargestRegion) {
+  Fixture f(ConnectedGnm(512, 2048, 1), 1);
+  const BlockAddressing block(f.g, f.book);
+  EXPECT_GE(block.bits(), 1);
+  // Exact partition: never wider than log2(n) + 1.
+  EXPECT_LE(block.bits(),
+            static_cast<int>(std::ceil(std::log2(512.0))) + 1);
+  EXPECT_FALSE(block.slack_saturated());
+}
+
+TEST(BlockAddress, AddressesUniqueWithinRegion) {
+  Fixture f(ConnectedGnm(512, 2048, 3), 3);
+  const BlockAddressing block(f.g, f.book);
+  std::set<std::pair<NodeId, std::uint64_t>> seen;
+  for (NodeId v = 0; v < f.g.num_nodes(); ++v) {
+    const auto key = std::make_pair(f.book.closest_landmark(v),
+                                    block.AddressOf(v));
+    EXPECT_TRUE(seen.insert(key).second)
+        << "duplicate address in region of node " << v;
+  }
+}
+
+TEST(BlockAddress, LandmarkOwnsRangeStart) {
+  Fixture f(ConnectedGnm(256, 1024, 5), 5);
+  const BlockAddressing block(f.g, f.book);
+  for (const NodeId l : f.landmarks.landmarks) {
+    EXPECT_EQ(block.AddressOf(l), 0u);
+  }
+}
+
+class BlockForwarding : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BlockForwarding, RangeComparisonsReachEveryNode) {
+  // The defining property: pure range-compare forwarding from the landmark
+  // delivers to every node along its forest path (same hops as the
+  // explicit-route address).
+  const std::uint64_t seed = GetParam();
+  Fixture f(ConnectedGeometric(384, 8.0, seed), seed);
+  const BlockAddressing block(f.g, f.book);
+  for (NodeId v = 0; v < f.g.num_nodes(); v += 3) {
+    const auto path = block.FollowTo(v);
+    ASSERT_FALSE(path.empty()) << "node " << v;
+    EXPECT_EQ(path.front(), f.book.closest_landmark(v));
+    EXPECT_EQ(path.back(), v);
+    EXPECT_EQ(path, f.book.AddressOf(v).route) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockForwarding,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(BlockAddress, SlackWidensAddresses) {
+  Fixture f(RouterLevelInternet(2048, 7), 7);
+  const BlockAddressing exact(f.g, f.book, 0);
+  const BlockAddressing slack1(f.g, f.book, 1);
+  EXPECT_GT(slack1.bits(), exact.bits());
+  // Forwarding still works with slack.
+  for (NodeId v = 100; v < 120; ++v) {
+    EXPECT_EQ(slack1.FollowTo(v).back(), v);
+  }
+}
+
+TEST(BlockAddress, SlackSaturationIsReported) {
+  // A depth-199 tree with 10 slack bits per level overflows 64-bit
+  // addresses; the implementation must degrade gracefully and say so.
+  const Graph g = testing::PathGraph(200);
+  const LandmarkSet one = LandmarksFromList(200, {0});
+  const AddressBook book(g, one);
+  const BlockAddressing block(g, book, 10);
+  EXPECT_TRUE(block.slack_saturated());
+  for (NodeId v = 0; v < 200; v += 17) {
+    EXPECT_EQ(block.FollowTo(v).back(), v);  // still routes
+  }
+}
+
+TEST(BlockAddress, RingWorstCase) {
+  // On a ring with one landmark, both schemes must route; the block
+  // address stays at ~log2(n) bits while the explicit route grows to
+  // Θ(n) hops — the §4.2 trade-off in its purest form.
+  const Graph g = Ring(128);
+  const LandmarkSet one = LandmarksFromList(128, {0});
+  const AddressBook book(g, one);
+  const BlockAddressing block(g, book);
+  EXPECT_LE(block.bits(), 8);
+  for (NodeId v = 0; v < 128; v += 11) {
+    EXPECT_EQ(block.FollowTo(v).back(), v);
+  }
+  EXPECT_EQ(book.AddressOf(64).num_hops(), 64u);  // explicit route: Θ(n)
+}
+
+}  // namespace
+}  // namespace disco

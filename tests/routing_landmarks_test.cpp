@@ -1,0 +1,125 @@
+#include "routing/landmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace disco {
+namespace {
+
+Params WithSeed(std::uint64_t seed) {
+  Params p;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Landmarks, AtLeastOneLandmarkAlways) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const LandmarkSet set = SelectLandmarks(8, WithSeed(seed));
+    EXPECT_GE(set.count(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(Landmarks, FlagsMatchList) {
+  const LandmarkSet set = SelectLandmarks(1000, WithSeed(3));
+  std::size_t flagged = 0;
+  for (NodeId v = 0; v < 1000; ++v) {
+    if (set.Contains(v)) ++flagged;
+  }
+  EXPECT_EQ(flagged, set.count());
+  for (const NodeId l : set.landmarks) EXPECT_TRUE(set.Contains(l));
+}
+
+TEST(Landmarks, ListIsSortedUnique) {
+  const LandmarkSet set = SelectLandmarks(5000, WithSeed(7));
+  for (std::size_t i = 1; i < set.landmarks.size(); ++i) {
+    EXPECT_LT(set.landmarks[i - 1], set.landmarks[i]);
+  }
+}
+
+TEST(Landmarks, DeterministicPerSeed) {
+  const LandmarkSet a = SelectLandmarks(2000, WithSeed(11));
+  const LandmarkSet b = SelectLandmarks(2000, WithSeed(11));
+  EXPECT_EQ(a.landmarks, b.landmarks);
+}
+
+TEST(Landmarks, DifferentSeedsDiffer) {
+  const LandmarkSet a = SelectLandmarks(2000, WithSeed(1));
+  const LandmarkSet b = SelectLandmarks(2000, WithSeed(2));
+  EXPECT_NE(a.landmarks, b.landmarks);
+}
+
+TEST(Landmarks, LocalDecisions) {
+  // Node v's coin must not depend on n: growing the network does not flip
+  // existing nodes (the amortized-churn property of §4.2 relies on
+  // decisions being local; only the probability threshold moves).
+  const Params p = WithSeed(13);
+  const double p_small = LandmarkProbability(1000);
+  const double p_large = LandmarkProbability(4000);
+  ASSERT_GT(p_small, p_large);
+  const LandmarkSet small = SelectLandmarks(1000, p);
+  const LandmarkSet large = SelectLandmarks(4000, p);
+  // Every landmark of the large (lower-probability) run that is < 1000
+  // must also be a landmark of the small run.
+  for (const NodeId l : large.landmarks) {
+    if (l < 1000) EXPECT_TRUE(small.Contains(l)) << l;
+  }
+}
+
+class LandmarkConcentration : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(LandmarkConcentration, CountNearExpectation) {
+  const NodeId n = GetParam();
+  const double expected = n * LandmarkProbability(n);
+  double total = 0;
+  const int kRuns = 10;
+  for (int run = 0; run < kRuns; ++run) {
+    total += static_cast<double>(
+        SelectLandmarks(n, WithSeed(100 + run)).count());
+  }
+  const double mean = total / kRuns;
+  // Chernoff concentration: the mean over runs should sit well within
+  // 25% of sqrt(n ln n).
+  EXPECT_GT(mean, expected * 0.75) << "n=" << n;
+  EXPECT_LT(mean, expected * 1.25) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LandmarkConcentration,
+                         ::testing::Values(1024, 4096, 16384, 65536));
+
+TEST(OperatorLandmarks, FromListDeduplicatesAndSorts) {
+  const LandmarkSet set = LandmarksFromList(100, {5, 3, 5, 99, 3});
+  EXPECT_EQ(set.landmarks, (std::vector<NodeId>{3, 5, 99}));
+  EXPECT_TRUE(set.Contains(5));
+  EXPECT_FALSE(set.Contains(4));
+}
+
+TEST(OperatorLandmarks, DegreeBasedPicksHubs) {
+  // A star: the hub must be the first landmark chosen.
+  std::vector<WeightedEdge> edges;
+  for (NodeId v = 1; v < 64; ++v) edges.push_back({0, v, 1.0});
+  const Graph g = Graph::FromEdges(64, edges);
+  const LandmarkSet set = SelectDegreeBasedLandmarks(g, WithSeed(1));
+  EXPECT_TRUE(set.Contains(0));
+}
+
+TEST(OperatorLandmarks, DegreeBasedCountMatchesRandomRule) {
+  const Graph g = BarabasiAlbert(4096, 2, 3);
+  const LandmarkSet degree = SelectDegreeBasedLandmarks(g, WithSeed(3));
+  const double expected = 4096 * LandmarkProbability(4096);
+  EXPECT_NEAR(static_cast<double>(degree.count()), expected, 1.0);
+}
+
+TEST(Landmarks, ProbFactorScalesCount) {
+  Params dense = WithSeed(5);
+  dense.landmark_prob_factor = 2.0;
+  const std::size_t base = SelectLandmarks(16384, WithSeed(5)).count();
+  const std::size_t doubled = SelectLandmarks(16384, dense).count();
+  EXPECT_GT(doubled, base * 3 / 2);
+  EXPECT_LT(doubled, base * 5 / 2);
+}
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,84 @@
+#include "routing/params.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace disco {
+namespace {
+
+TEST(Params, LandmarkProbabilityFormula) {
+  const NodeId n = 10000;
+  EXPECT_NEAR(LandmarkProbability(n),
+              std::sqrt(std::log(10000.0) / 10000.0), 1e-12);
+}
+
+TEST(Params, LandmarkProbabilityClamped) {
+  EXPECT_EQ(LandmarkProbability(1), 1.0);
+  EXPECT_LE(LandmarkProbability(2), 1.0);
+  EXPECT_GT(LandmarkProbability(1u << 20), 0.0);
+  EXPECT_LT(LandmarkProbability(1u << 20), 0.01);
+}
+
+TEST(Params, LandmarkProbabilityScalesWithFactor) {
+  EXPECT_NEAR(LandmarkProbability(10000, 2.0),
+              2.0 * LandmarkProbability(10000, 1.0), 1e-12);
+}
+
+TEST(Params, VicinitySizeFormula) {
+  const NodeId n = 16384;
+  const double expected = std::sqrt(16384.0 * std::log(16384.0));
+  EXPECT_EQ(VicinitySize(n), static_cast<std::size_t>(std::ceil(expected)));
+}
+
+TEST(Params, VicinitySizeClampedToN) {
+  EXPECT_LE(VicinitySize(4), 4u);
+  EXPECT_GE(VicinitySize(4), 1u);
+  EXPECT_EQ(VicinitySize(1), 1u);
+}
+
+TEST(Params, ExpectedLandmarksMatchVicinitySize) {
+  // n * p ≈ k: both are sqrt(n ln n) — the coupling the stretch proof
+  // needs (a landmark lands in every vicinity w.h.p.).
+  const NodeId n = 65536;
+  const double expected_landmarks = n * LandmarkProbability(n);
+  EXPECT_NEAR(expected_landmarks, static_cast<double>(VicinitySize(n)),
+              expected_landmarks * 0.01);
+}
+
+TEST(Params, SloppyGroupBitsSmallN) {
+  EXPECT_EQ(SloppyGroupBits(1), 0);
+  EXPECT_EQ(SloppyGroupBits(4), 0);
+  EXPECT_EQ(SloppyGroupBits(16), 0);  // sqrt(16)/log2(16) = 1 -> 0 bits
+}
+
+TEST(Params, SloppyGroupBitsGrowth) {
+  // k = floor(log2(sqrt(n)/log2 n)).
+  EXPECT_EQ(SloppyGroupBits(16384), 3);   // 128/14 = 9.14 -> 3
+  EXPECT_EQ(SloppyGroupBits(1024), 1);    // 32/10 = 3.2 -> 1
+  EXPECT_EQ(SloppyGroupBits(1 << 20), 5);  // 1024/20 = 51.2 -> 5
+}
+
+TEST(Params, GroupCountTracksSqrtScaling) {
+  // Group size n / 2^bits must stay within a constant factor of
+  // sqrt(n) * log2(n).
+  for (const double n : {1024.0, 16384.0, 262144.0, 4194304.0}) {
+    const int bits = SloppyGroupBits(n);
+    const double group_size = n / std::pow(2.0, bits);
+    const double target = std::sqrt(n) * std::log2(n);
+    EXPECT_GE(group_size, target * 0.9) << n;
+    EXPECT_LE(group_size, target * 2.1) << n;
+  }
+}
+
+TEST(Params, DoublingNChangesBitsByAtMostOne) {
+  // Nodes whose estimates differ by <2x must agree on the grouping within
+  // one bit — the sloppiness bound of §4.4.
+  for (double n = 64; n < 1e9; n *= 2) {
+    EXPECT_LE(std::abs(SloppyGroupBits(2 * n) - SloppyGroupBits(n)), 1)
+        << n;
+  }
+}
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,121 @@
+#include "routing/vicinity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/shortest_path.h"
+#include "test_util.h"
+
+namespace disco {
+namespace {
+
+using testing::PathGraph;
+
+TEST(Vicinity, ContainsOwnerAtZero) {
+  const Graph g = PathGraph(10);
+  const Vicinity vic(5, KNearest(g, 5, 4));
+  EXPECT_EQ(vic.owner(), 5u);
+  EXPECT_TRUE(vic.Contains(5));
+  EXPECT_DOUBLE_EQ(vic.DistanceTo(5), 0.0);
+}
+
+TEST(Vicinity, MembershipAndDistances) {
+  const Graph g = PathGraph(10);
+  const Vicinity vic(5, KNearest(g, 5, 5));  // 5,4,6,3,7 (ties by id)
+  EXPECT_TRUE(vic.Contains(4));
+  EXPECT_TRUE(vic.Contains(6));
+  EXPECT_DOUBLE_EQ(vic.DistanceTo(7), 2.0);
+  EXPECT_FALSE(vic.Contains(9));
+  EXPECT_EQ(vic.DistanceTo(9), kInfDist);
+}
+
+TEST(Vicinity, RadiusIsFarthestMember) {
+  const Graph g = PathGraph(20);
+  const Vicinity vic(10, KNearest(g, 10, 7));
+  EXPECT_DOUBLE_EQ(vic.radius(), 3.0);
+}
+
+TEST(Vicinity, PathToMemberIsShortest) {
+  const Graph g = ConnectedGeometric(256, 8.0, 3);
+  const Vicinity vic(9, KNearest(g, 9, 40));
+  for (const NearNode& m : vic.members()) {
+    const auto path = vic.PathTo(m.node);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), 9u);
+    EXPECT_EQ(path.back(), m.node);
+    EXPECT_NEAR(PathLength(g, path), m.dist, 1e-9);
+  }
+}
+
+TEST(Vicinity, PathToNonMemberIsEmpty) {
+  const Graph g = PathGraph(10);
+  const Vicinity vic(0, KNearest(g, 0, 3));
+  EXPECT_TRUE(vic.PathTo(9).empty());
+}
+
+TEST(VicinityCache, ReturnsConsistentResults) {
+  const Graph g = ConnectedGnm(128, 512, 5);
+  VicinityCache cache(g, 20, 4);
+  const auto first = cache.Get(7);
+  // Evict by touching more nodes than the capacity.
+  for (NodeId v = 0; v < 10; ++v) cache.Get(v);
+  const auto second = cache.Get(7);
+  ASSERT_EQ(first->size(), second->size());
+  for (std::size_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ(first->members()[i].node, second->members()[i].node);
+  }
+}
+
+TEST(VicinityCache, CachesHits) {
+  const Graph g = ConnectedGnm(128, 512, 5);
+  VicinityCache cache(g, 20, 64);
+  cache.Get(3);
+  cache.Get(3);
+  cache.Get(3);
+  EXPECT_EQ(cache.computed_count(), 1u);
+}
+
+TEST(VicinityCache, EvictsLeastRecentlyUsed) {
+  const Graph g = ConnectedGnm(128, 512, 5);
+  VicinityCache cache(g, 10, 2);
+  cache.Get(1);
+  cache.Get(2);
+  cache.Get(1);       // 1 is now most recent
+  cache.Get(3);       // evicts 2
+  cache.Get(1);       // still cached
+  EXPECT_EQ(cache.computed_count(), 3u);
+  cache.Get(2);       // recompute
+  EXPECT_EQ(cache.computed_count(), 4u);
+}
+
+TEST(VicinityCache, SharedPtrSurvivesEviction) {
+  const Graph g = ConnectedGnm(128, 512, 5);
+  VicinityCache cache(g, 10, 1);
+  const auto held = cache.Get(0);
+  cache.Get(1);  // evicts 0 from the cache
+  cache.Get(2);
+  EXPECT_EQ(held->owner(), 0u);  // still valid through shared ownership
+  EXPECT_TRUE(held->Contains(0));
+}
+
+TEST(VicinityCache, KClampedToGraphSize) {
+  const Graph g = PathGraph(5);
+  VicinityCache cache(g, 100, 4);
+  EXPECT_EQ(cache.k(), 5u);
+  EXPECT_EQ(cache.Get(0)->size(), 5u);
+}
+
+TEST(Vicinity, AsymmetryIsPossible) {
+  // s ∈ V(t) does not imply t ∈ V(s) (the paper leans on this asymmetry in
+  // the handshake): build a star where the hub's vicinity is tiny but each
+  // leaf sees the hub first.
+  const Graph g = testing::StarGraph(30);
+  VicinityCache cache(g, 3, 64);
+  const auto hub = cache.Get(0);
+  const auto leaf = cache.Get(25);
+  EXPECT_TRUE(leaf->Contains(0));        // hub is every leaf's closest
+  EXPECT_FALSE(hub->Contains(25));       // hub kept only 3 of 31 nodes
+}
+
+}  // namespace
+}  // namespace disco

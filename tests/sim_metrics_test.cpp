@@ -1,0 +1,113 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "baselines/spf.h"
+#include "graph/generators.h"
+#include "sim/disco_msg.h"
+#include "test_util.h"
+
+namespace disco {
+namespace {
+
+RouteFn SpfRoute(ShortestPathRouting& spf) {
+  return [&spf](NodeId s, NodeId t) { return spf.RoutePacket(s, t); };
+}
+
+TEST(Metrics, ShortestPathStretchIsOne) {
+  const Graph g = ConnectedGeometric(256, 8.0, 1);
+  ShortestPathRouting spf(g);
+  StretchOptions opt;
+  opt.num_pairs = 200;
+  const auto stretches = SampleStretch(g, SpfRoute(spf), opt);
+  ASSERT_FALSE(stretches.empty());
+  for (const double s : stretches) EXPECT_NEAR(s, 1.0, 1e-9);
+}
+
+TEST(Metrics, FailedRoutesAreReported) {
+  const Graph g = ConnectedGnm(64, 256, 3);
+  auto failing = [](NodeId, NodeId) { return Route{}; };
+  StretchOptions opt;
+  opt.num_pairs = 50;
+  std::vector<StretchSample> details;
+  const auto stretches = SampleStretch(g, failing, opt, &details);
+  EXPECT_TRUE(stretches.empty());
+  ASSERT_FALSE(details.empty());
+  for (const auto& d : details) EXPECT_TRUE(d.failed);
+}
+
+TEST(Metrics, SamplingIsDeterministic) {
+  const Graph g = ConnectedGnm(128, 512, 5);
+  ShortestPathRouting spf(g);
+  StretchOptions opt;
+  opt.num_pairs = 64;
+  opt.seed = 42;
+  std::vector<StretchSample> d1, d2;
+  SampleStretch(g, SpfRoute(spf), opt, &d1);
+  SampleStretch(g, SpfRoute(spf), opt, &d2);
+  ASSERT_EQ(d1.size(), d2.size());
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(d1[i].s, d2[i].s);
+    EXPECT_EQ(d1[i].t, d2[i].t);
+  }
+}
+
+TEST(Metrics, CongestionCountsOneRoutePerNode) {
+  const Graph g = ConnectedGnm(128, 512, 7);
+  ShortestPathRouting spf(g);
+  const auto counts = CongestionCounts(g, SpfRoute(spf), 7);
+  EXPECT_EQ(counts.size(), g.num_edges());
+  const std::size_t total =
+      std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+  // Each of n routes uses at least one edge (s != t in a connected graph).
+  EXPECT_GE(total, g.num_nodes());
+}
+
+TEST(Metrics, CongestionOnPathGraphIsCentered) {
+  // On a path, central edges must carry more random-pair routes than
+  // peripheral ones.
+  const Graph g = testing::PathGraph(64);
+  ShortestPathRouting spf(g);
+  const auto counts = CongestionCounts(g, SpfRoute(spf), 9);
+  const std::size_t mid = counts[31];
+  const std::size_t edge0 = counts[0];
+  EXPECT_GT(mid, edge0);
+}
+
+TEST(Metrics, SampleNodesUniqueAndInRange) {
+  const auto sample = SampleNodes(1000, 100, 3);
+  EXPECT_EQ(sample.size(), 100u);
+  std::set<NodeId> s(sample.begin(), sample.end());
+  EXPECT_EQ(s.size(), 100u);
+  for (const NodeId v : sample) EXPECT_LT(v, 1000u);
+}
+
+TEST(Metrics, SampleNodesReturnsAllWhenCountExceedsN) {
+  const auto sample = SampleNodes(10, 50, 3);
+  EXPECT_EQ(sample.size(), 10u);
+}
+
+TEST(OverlayMessaging, ScalesGentlyAndIsPositive) {
+  const Graph g = ConnectedGnm(256, 1024, 11);
+  Params p;
+  p.seed = 11;
+  p.fingers = 1;
+  Disco one(g, p);
+  const auto m1 = MeasureOverlayMessaging(g, one);
+  EXPECT_GT(m1.dissemination_messages, 0u);
+  EXPECT_GT(m1.lookup_messages, 0u);
+
+  p.fingers = 3;
+  Disco three(g, p);
+  const auto m3 = MeasureOverlayMessaging(g, three);
+  // More fingers -> more lookups/links, same order of dissemination.
+  EXPECT_GT(m3.lookup_messages, m1.lookup_messages);
+  EXPECT_GT(m3.total(), m1.total());
+}
+
+}  // namespace
+}  // namespace disco

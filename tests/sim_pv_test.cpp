@@ -1,0 +1,137 @@
+#include "sim/pv_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/shortest_path.h"
+#include "test_util.h"
+
+namespace disco {
+namespace {
+
+PvConfig Config(PvMode mode, std::uint64_t seed) {
+  PvConfig c;
+  c.mode = mode;
+  c.params.seed = seed;
+  return c;
+}
+
+TEST(PvSim, PathVectorConvergesToShortestPaths) {
+  const Graph g = ConnectedGeometric(128, 8.0, 1);
+  const PvResult r = SimulatePathVector(g, Config(PvMode::kPathVector, 1));
+  for (NodeId v = 0; v < g.num_nodes(); v += 11) {
+    const auto truth = Dijkstra(g, v);
+    ASSERT_EQ(r.tables[v].size(), g.num_nodes());
+    for (const auto& [origin, dist] : r.tables[v]) {
+      EXPECT_NEAR(dist, truth.dist[origin], 1e-9)
+          << v << " -> " << origin;
+    }
+  }
+}
+
+TEST(PvSim, MessageCountScalesWithN) {
+  const Graph small = ConnectedGnm(64, 256, 3);
+  const Graph large = ConnectedGnm(256, 1024, 3);
+  const auto rs = SimulatePathVector(small, Config(PvMode::kPathVector, 3));
+  const auto rl = SimulatePathVector(large, Config(PvMode::kPathVector, 3));
+  // Per-node messaging grows ~linearly in n for full path vector.
+  EXPECT_GT(rl.messages_per_node, 2.0 * rs.messages_per_node);
+}
+
+TEST(PvSim, NdDiscoTablesAreBounded) {
+  const Graph g = ConnectedGnm(512, 2048, 5);
+  const PvResult r = SimulatePathVector(g, Config(PvMode::kNdDisco, 5));
+  const std::size_t k = VicinitySize(g.num_nodes());
+  Params p;
+  p.seed = 5;
+  const LandmarkSet lms = SelectLandmarks(g.num_nodes(), p);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    // Table = self + landmarks + ≤k vicinity entries.
+    EXPECT_LE(r.tables[v].size(), k + lms.count() + 1) << v;
+  }
+}
+
+TEST(PvSim, NdDiscoLearnsAllLandmarksExactly) {
+  const Graph g = ConnectedGeometric(256, 8.0, 7);
+  PvConfig c = Config(PvMode::kNdDisco, 7);
+  const PvResult r = SimulatePathVector(g, c);
+  Params p;
+  p.seed = 7;
+  const LandmarkSet lms = SelectLandmarks(g.num_nodes(), p);
+  for (NodeId v = 0; v < g.num_nodes(); v += 13) {
+    const auto truth = Dijkstra(g, v);
+    for (const NodeId l : lms.landmarks) {
+      const auto it = r.tables[v].find(l);
+      ASSERT_NE(it, r.tables[v].end()) << v << " missing landmark " << l;
+      EXPECT_NEAR(it->second, truth.dist[l], 1e-9);
+    }
+  }
+}
+
+TEST(PvSim, NdDiscoVicinityApproximatesKNearest) {
+  const Graph g = ConnectedGeometric(256, 8.0, 9);
+  const PvResult r = SimulatePathVector(g, Config(PvMode::kNdDisco, 9));
+  const std::size_t k = VicinitySize(g.num_nodes());
+  // The distributed filter may diverge from ideal k-nearest at the
+  // boundary; demand high overlap (it is exact on most nodes).
+  std::size_t overlap = 0, expected = 0;
+  for (NodeId v = 0; v < g.num_nodes(); v += 7) {
+    const auto ideal = KNearest(g, v, k);
+    expected += ideal.size();
+    for (const auto& m : ideal) {
+      if (r.tables[v].count(m.node)) ++overlap;
+    }
+  }
+  EXPECT_GT(static_cast<double>(overlap),
+            0.9 * static_cast<double>(expected));
+}
+
+TEST(PvSim, CompactModesUseFarFewerMessagesThanPv) {
+  const Graph g = ConnectedGnm(512, 2048, 11);
+  const auto pv = SimulatePathVector(g, Config(PvMode::kPathVector, 11));
+  const auto nd = SimulatePathVector(g, Config(PvMode::kNdDisco, 11));
+  const auto s4 = SimulatePathVector(g, Config(PvMode::kS4, 11));
+  EXPECT_LT(nd.messages_per_node, pv.messages_per_node / 2);
+  EXPECT_LT(s4.messages_per_node, pv.messages_per_node / 2);
+}
+
+TEST(PvSim, S4TablesRespectClusterRule) {
+  const Graph g = ConnectedGeometric(256, 8.0, 13);
+  const PvResult r = SimulatePathVector(g, Config(PvMode::kS4, 13));
+  Params p;
+  p.seed = 13;
+  const LandmarkSet lms = SelectLandmarks(g.num_nodes(), p);
+  const auto radii = MultiSourceDijkstra(g, lms.landmarks).dist;
+  for (NodeId v = 0; v < g.num_nodes(); v += 11) {
+    for (const auto& [origin, dist] : r.tables[v]) {
+      if (origin == v || lms.Contains(origin)) continue;
+      EXPECT_LE(dist, radii[origin] + 1e-9)
+          << v << " holds out-of-cluster node " << origin;
+    }
+  }
+}
+
+TEST(PvSim, DeterministicPerSeed) {
+  const Graph g = ConnectedGnm(128, 512, 15);
+  const auto a = SimulatePathVector(g, Config(PvMode::kPathVector, 15));
+  const auto b = SimulatePathVector(g, Config(PvMode::kPathVector, 15));
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_DOUBLE_EQ(a.convergence_time, b.convergence_time);
+}
+
+TEST(PvSim, ProvidedLandmarksAreUsed) {
+  const Graph g = ConnectedGnm(128, 512, 17);
+  LandmarkSet lms;
+  lms.is_landmark.assign(g.num_nodes(), 0);
+  lms.is_landmark[0] = 1;
+  lms.landmarks = {0};
+  PvConfig c = Config(PvMode::kNdDisco, 17);
+  c.landmarks = &lms;
+  const PvResult r = SimulatePathVector(g, c);
+  for (NodeId v = 1; v < g.num_nodes(); v += 9) {
+    EXPECT_TRUE(r.tables[v].count(0)) << "node " << v;
+  }
+}
+
+}  // namespace
+}  // namespace disco

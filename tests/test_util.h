@@ -1,0 +1,58 @@
+// Shared helpers for the test suite: small canonical graphs and reference
+// (brute-force) implementations to check the optimized code against.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/generators.h"
+
+namespace disco::testing {
+
+/// Path graph 0-1-2-...-(n-1), unit weights.
+inline Graph PathGraph(NodeId n) {
+  std::vector<WeightedEdge> edges;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1, 1.0});
+  return Graph::FromEdges(n, edges);
+}
+
+/// Star with `leaves` leaves around center 0, unit weights.
+inline Graph StarGraph(NodeId leaves) {
+  std::vector<WeightedEdge> edges;
+  for (NodeId v = 1; v <= leaves; ++v) edges.push_back({0, v, 1.0});
+  return Graph::FromEdges(leaves + 1, edges);
+}
+
+/// The weighted diamond used for shortest-path disambiguation tests:
+///      1
+///    /   \        0-1 = 1, 1-3 = 1 (top, length 2)
+///  0       3      0-2 = 1.5, 2-3 = 1.5 (bottom, length 3)
+///    \   /        0-3 via top is strictly shorter
+///      2
+inline Graph DiamondGraph() {
+  const std::vector<WeightedEdge> edges = {
+      {0, 1, 1.0}, {1, 3, 1.0}, {0, 2, 1.5}, {2, 3, 1.5}};
+  return Graph::FromEdges(4, edges);
+}
+
+/// Reference Bellman–Ford distances (O(nm), for validating Dijkstra).
+inline std::vector<Dist> BellmanFord(const Graph& g, NodeId src) {
+  std::vector<Dist> dist(g.num_nodes(), kInfDist);
+  dist[src] = 0;
+  for (NodeId round = 0; round + 1 < g.num_nodes(); ++round) {
+    bool changed = false;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (dist[v] >= kInfDist) continue;
+      for (const Neighbor& nb : g.neighbors(v)) {
+        if (dist[v] + nb.weight < dist[nb.to]) {
+          dist[nb.to] = dist[v] + nb.weight;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+}  // namespace disco::testing

@@ -1,0 +1,94 @@
+#include "util/bitio.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace disco {
+namespace {
+
+TEST(BitIo, EmptyWriterHasZeroSize) {
+  BitWriter w;
+  EXPECT_EQ(w.bit_size(), 0u);
+  EXPECT_EQ(w.byte_size(), 0u);
+  EXPECT_TRUE(w.bytes().empty());
+}
+
+TEST(BitIo, SingleBitRoundTrip) {
+  BitWriter w;
+  w.Write(1, 1);
+  EXPECT_EQ(w.bit_size(), 1u);
+  EXPECT_EQ(w.byte_size(), 1u);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(r.Read(1), 1u);
+  EXPECT_EQ(r.bits_remaining(), 0u);
+}
+
+TEST(BitIo, ZeroWidthWriteIsNoop) {
+  BitWriter w;
+  w.Write(0, 0);
+  EXPECT_EQ(w.bit_size(), 0u);
+}
+
+TEST(BitIo, MsbFirstLayout) {
+  BitWriter w;
+  w.Write(0b101, 3);  // should occupy the top three bits of byte 0
+  EXPECT_EQ(w.bytes()[0], 0b10100000);
+}
+
+TEST(BitIo, ValuesSpanningByteBoundaries) {
+  BitWriter w;
+  w.Write(0x3FF, 10);
+  w.Write(0x0, 3);
+  w.Write(0x5, 3);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(r.Read(10), 0x3FFu);
+  EXPECT_EQ(r.Read(3), 0x0u);
+  EXPECT_EQ(r.Read(3), 0x5u);
+}
+
+TEST(BitIo, SixtyFourBitValue) {
+  BitWriter w;
+  const std::uint64_t v = 0xDEADBEEFCAFEF00DULL;
+  w.Write(v, 64);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(r.Read(64), v);
+}
+
+TEST(BitIo, ByteSizeRoundsUp) {
+  BitWriter w;
+  w.Write(0, 9);
+  EXPECT_EQ(w.byte_size(), 2u);
+  w.Write(0, 7);
+  EXPECT_EQ(w.byte_size(), 2u);
+  w.Write(0, 1);
+  EXPECT_EQ(w.byte_size(), 3u);
+}
+
+class BitIoRandomRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitIoRandomRoundTrip, MixedWidthSequences) {
+  Rng rng(GetParam());
+  std::vector<std::pair<std::uint64_t, int>> values;
+  BitWriter w;
+  for (int i = 0; i < 200; ++i) {
+    const int bits = static_cast<int>(rng.NextBelow(64)) + 1;
+    const std::uint64_t value =
+        bits == 64 ? rng.Next() : (rng.Next() & ((1ULL << bits) - 1));
+    values.emplace_back(value, bits);
+    w.Write(value, bits);
+  }
+  BitReader r(w.bytes(), w.bit_size());
+  for (const auto& [value, bits] : values) {
+    ASSERT_EQ(r.Read(bits), value) << "width " << bits;
+  }
+  EXPECT_EQ(r.bits_remaining(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitIoRandomRoundTrip,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace disco

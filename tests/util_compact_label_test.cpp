@@ -1,0 +1,116 @@
+#include "util/compact_label.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace disco {
+namespace {
+
+TEST(CompactLabel, LabelBitsFormula) {
+  EXPECT_EQ(LabelBits(0), 0);
+  EXPECT_EQ(LabelBits(1), 0);   // no choice -> no bits
+  EXPECT_EQ(LabelBits(2), 1);
+  EXPECT_EQ(LabelBits(3), 2);
+  EXPECT_EQ(LabelBits(4), 2);
+  EXPECT_EQ(LabelBits(5), 3);
+  EXPECT_EQ(LabelBits(256), 8);
+  EXPECT_EQ(LabelBits(257), 9);
+}
+
+TEST(CompactLabel, EmptyRoute) {
+  const EncodedRoute r = EncodeRoute({});
+  EXPECT_EQ(r.num_hops, 0u);
+  EXPECT_EQ(r.byte_size(), 0u);
+  LabelDecoder dec(r);
+  EXPECT_FALSE(dec.HasNext());
+}
+
+TEST(CompactLabel, DegreeOneHopsAreFree) {
+  // A route through a chain of degree-≤1 choices costs zero bits.
+  const std::vector<HopLabel> hops = {{0, 1}, {0, 1}, {0, 1}};
+  const EncodedRoute r = EncodeRoute(hops);
+  EXPECT_EQ(r.bit_size, 0u);
+  EXPECT_EQ(r.num_hops, 3u);
+  LabelDecoder dec(r);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(dec.HasNext());
+    EXPECT_EQ(dec.Next(1), 0u);
+  }
+  EXPECT_FALSE(dec.HasNext());
+}
+
+TEST(CompactLabel, SingleHopRoundTrip) {
+  const std::vector<HopLabel> hops = {{5, 8}};
+  const EncodedRoute r = EncodeRoute(hops);
+  EXPECT_EQ(r.bit_size, 3u);
+  EXPECT_EQ(r.byte_size(), 1u);
+  LabelDecoder dec(r);
+  EXPECT_EQ(dec.Next(8), 5u);
+}
+
+TEST(CompactLabel, MixedDegreesRoundTrip) {
+  const std::vector<HopLabel> hops = {
+      {3, 4}, {0, 1}, {7, 200}, {1, 2}, {99, 100}};
+  const EncodedRoute r = EncodeRoute(hops);
+  LabelDecoder dec(r);
+  for (const HopLabel& h : hops) {
+    ASSERT_TRUE(dec.HasNext());
+    EXPECT_EQ(dec.Next(h.degree), h.interface);
+  }
+  EXPECT_FALSE(dec.HasNext());
+}
+
+TEST(CompactLabel, ByteSizeMatchesBitSum) {
+  const std::vector<HopLabel> hops = {{1, 2}, {2, 4}, {7, 8}};  // 1+2+3 bits
+  const EncodedRoute r = EncodeRoute(hops);
+  EXPECT_EQ(r.bit_size, 6u);
+  EXPECT_EQ(r.byte_size(), 1u);
+}
+
+// Property sweep: routes through degree distributions typical of each
+// topology family must round-trip exactly.
+struct LabelSweepParam {
+  std::uint32_t max_degree;
+  int route_len;
+};
+
+class CompactLabelSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CompactLabelSweep, RandomRoutesRoundTrip) {
+  const int max_degree = std::get<0>(GetParam());
+  const int route_len = std::get<1>(GetParam());
+  Rng rng(static_cast<std::uint64_t>(max_degree) * 1000 + route_len);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<HopLabel> hops;
+    for (int i = 0; i < route_len; ++i) {
+      const std::uint32_t degree =
+          1 + static_cast<std::uint32_t>(rng.NextBelow(max_degree));
+      const std::uint32_t iface =
+          static_cast<std::uint32_t>(rng.NextBelow(degree));
+      hops.push_back({iface, degree});
+    }
+    const EncodedRoute r = EncodeRoute(hops);
+    LabelDecoder dec(r);
+    for (const HopLabel& h : hops) {
+      ASSERT_TRUE(dec.HasNext());
+      ASSERT_EQ(dec.Next(h.degree), h.interface);
+    }
+    ASSERT_FALSE(dec.HasNext());
+    // O(log d) bound: each hop uses at most ceil(log2(max_degree)) bits.
+    ASSERT_LE(r.bit_size,
+              static_cast<std::size_t>(route_len) *
+                  static_cast<std::size_t>(LabelBits(max_degree)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegreeAndLength, CompactLabelSweep,
+    ::testing::Combine(::testing::Values(2, 3, 8, 64, 1000),
+                       ::testing::Values(1, 5, 20, 100)));
+
+}  // namespace
+}  // namespace disco

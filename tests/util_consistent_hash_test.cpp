@@ -1,0 +1,111 @@
+#include "util/consistent_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/hashring.h"
+
+namespace disco {
+namespace {
+
+std::vector<std::uint32_t> Members(int count) {
+  std::vector<std::uint32_t> m;
+  for (int i = 0; i < count; ++i) m.push_back(static_cast<std::uint32_t>(i * 7 + 1));
+  return m;
+}
+
+TEST(ConsistentHash, SingleMemberOwnsEverything) {
+  ConsistentHashRing ring({42}, 4);
+  EXPECT_EQ(ring.Owner(0), 42u);
+  EXPECT_EQ(ring.Owner(HashName("anything")), 42u);
+  EXPECT_EQ(ring.Owner(~0ULL), 42u);
+}
+
+TEST(ConsistentHash, OwnerIsAlwaysAMember) {
+  const auto members = Members(16);
+  ConsistentHashRing ring(members, 8);
+  const std::set<std::uint32_t> mset(members.begin(), members.end());
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(mset.count(ring.Owner(HashName(DefaultName(i)))));
+  }
+}
+
+TEST(ConsistentHash, OwnerIsDeterministic) {
+  ConsistentHashRing a(Members(16), 8), b(Members(16), 8);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const HashValue h = HashName(DefaultName(i));
+    EXPECT_EQ(a.Owner(h), b.Owner(h));
+  }
+}
+
+TEST(ConsistentHash, OwnersReturnsDistinctMembers) {
+  ConsistentHashRing ring(Members(8), 8);
+  const auto owners = ring.Owners(HashName("key"), 3);
+  ASSERT_EQ(owners.size(), 3u);
+  const std::set<std::uint32_t> distinct(owners.begin(), owners.end());
+  EXPECT_EQ(distinct.size(), 3u);
+  EXPECT_EQ(owners[0], ring.Owner(HashName("key")));
+}
+
+TEST(ConsistentHash, OwnersClampsToMemberCount) {
+  ConsistentHashRing ring(Members(3), 4);
+  EXPECT_EQ(ring.Owners(1234, 10).size(), 3u);
+}
+
+TEST(ConsistentHash, ConsistencyUnderMemberRemoval) {
+  // Consistent hashing's defining property: removing one member only moves
+  // keys that it owned.
+  auto members = Members(16);
+  ConsistentHashRing before(members, 8);
+  const std::uint32_t removed = members.back();
+  members.pop_back();
+  ConsistentHashRing after(members, 8);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const HashValue h = HashName(DefaultName(i));
+    if (before.Owner(h) != removed) {
+      EXPECT_EQ(after.Owner(h), before.Owner(h)) << "key " << i;
+    }
+  }
+}
+
+TEST(ConsistentHash, CountOwnershipCoversAllKeys) {
+  ConsistentHashRing ring(Members(16), 8);
+  std::vector<HashValue> keys;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    keys.push_back(HashName(DefaultName(i)));
+  }
+  const auto counts = ring.CountOwnership(keys);
+  EXPECT_EQ(counts.size(), 16u);  // every member appears
+  std::size_t total = 0;
+  for (const auto& [m, c] : counts) total += c;
+  EXPECT_EQ(total, keys.size());
+}
+
+class VirtualPointBalance : public ::testing::TestWithParam<int> {};
+
+TEST_P(VirtualPointBalance, MoreVirtualPointsImproveBalance) {
+  const int vpoints = GetParam();
+  ConsistentHashRing ring(Members(32), vpoints);
+  std::vector<HashValue> keys;
+  for (std::uint64_t i = 0; i < 32000; ++i) {
+    keys.push_back(HashName(DefaultName(i)));
+  }
+  const auto counts = ring.CountOwnership(keys);
+  std::size_t max_count = 0;
+  for (const auto& [m, c] : counts) max_count = std::max(max_count, c);
+  const double fair = 32000.0 / 32.0;
+  // The §4.5 argument: single-hash imbalance is Θ(log n)x; multiple
+  // virtual points pull the max toward fair share. Generous envelopes.
+  const double allowed = vpoints >= 32 ? 2.0 : (vpoints >= 8 ? 3.5 : 8.0);
+  EXPECT_LE(static_cast<double>(max_count), fair * allowed)
+      << "virtual points: " << vpoints;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, VirtualPointBalance,
+                         ::testing::Values(1, 8, 32, 128));
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,87 @@
+#include "util/hashring.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace disco {
+namespace {
+
+TEST(HashRing, HashNameIsDeterministic) {
+  EXPECT_EQ(HashName("node-42"), HashName("node-42"));
+  EXPECT_NE(HashName("node-42"), HashName("node-43"));
+}
+
+TEST(HashRing, HashNameMatchesSha256Prefix) {
+  // h(name) is the big-endian first 8 bytes of SHA-256("abc").
+  // SHA-256("abc") = ba7816bf8f01cfea...
+  EXPECT_EQ(HashName("abc"), 0xba7816bf8f01cfeaULL);
+}
+
+TEST(HashRing, RingDistanceIsSymmetric) {
+  const HashValue a = 100, b = 0xFFFFFFFFFFFFFF00ULL;
+  EXPECT_EQ(RingDistance(a, b), RingDistance(b, a));
+}
+
+TEST(HashRing, RingDistanceWrapsAround) {
+  // 100 and 2^64-156 are 256 apart across the origin.
+  EXPECT_EQ(RingDistance(100, static_cast<HashValue>(-156)), 256u);
+}
+
+TEST(HashRing, RingDistanceToSelfIsZero) {
+  EXPECT_EQ(RingDistance(12345, 12345), 0u);
+}
+
+TEST(HashRing, RingDistanceNeverExceedsHalfRing) {
+  EXPECT_EQ(RingDistance(0, 1ULL << 63), 1ULL << 63);
+  EXPECT_LT(RingDistance(0, (1ULL << 63) + 1), 1ULL << 63);
+}
+
+TEST(HashRing, ClockwiseDistanceWraps) {
+  EXPECT_EQ(ClockwiseDistance(10, 5), static_cast<std::uint64_t>(-5));
+  EXPECT_EQ(ClockwiseDistance(5, 10), 5u);
+}
+
+TEST(HashRing, CommonPrefixLengthBasics) {
+  EXPECT_EQ(CommonPrefixLength(0, 0), 64);
+  EXPECT_EQ(CommonPrefixLength(0, 1ULL << 63), 0);
+  EXPECT_EQ(CommonPrefixLength(0xFF00000000000000ULL,
+                               0xFE00000000000000ULL), 7);
+  EXPECT_EQ(CommonPrefixLength(5, 4), 63);
+}
+
+TEST(HashRing, GroupIdTakesLeadingBits) {
+  const HashValue h = 0xABCD000000000000ULL;
+  EXPECT_EQ(GroupId(h, 0), 0u);
+  EXPECT_EQ(GroupId(h, 4), 0xAu);
+  EXPECT_EQ(GroupId(h, 8), 0xABu);
+  EXPECT_EQ(GroupId(h, 16), 0xABCDu);
+  EXPECT_EQ(GroupId(h, 64), h);
+}
+
+TEST(HashRing, GroupIdConsistentWithCommonPrefix) {
+  const HashValue a = HashName("x"), b = HashName("y");
+  const int p = CommonPrefixLength(a, b);
+  if (p > 0 && p < 64) {
+    EXPECT_EQ(GroupId(a, p), GroupId(b, p));
+    EXPECT_NE(GroupId(a, p + 1), GroupId(b, p + 1));
+  }
+}
+
+TEST(HashRing, DefaultNamesAreUnique) {
+  std::set<std::string> names;
+  for (std::uint64_t i = 0; i < 1000; ++i) names.insert(DefaultName(i));
+  EXPECT_EQ(names.size(), 1000u);
+}
+
+TEST(HashRing, HashesSpreadAcrossGroups) {
+  // With 4-bit grouping, 1000 uniform names should occupy all 16 groups.
+  std::set<std::uint64_t> groups;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    groups.insert(GroupId(HashName(DefaultName(i)), 4));
+  }
+  EXPECT_EQ(groups.size(), 16u);
+}
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,77 @@
+#include "util/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace disco {
+namespace {
+
+std::string ToHex(const Sha256Digest& d) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (const std::uint8_t b : d) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(ToHex(Sha256Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(ToHex(Sha256Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(ToHex(Sha256Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(ToHex(h.Finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, PaddingBoundaryLengths) {
+  // 55/56/57 bytes straddle the padding boundary (64 forces the length
+  // field into a second block); all must round-trip through incremental
+  // updates identically.
+  for (const std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u}) {
+    const std::string msg(len, 'q');
+    Sha256 incremental;
+    for (const char c : msg) incremental.Update(&c, 1);
+    EXPECT_EQ(ToHex(incremental.Finalize()), ToHex(Sha256Hash(msg)))
+        << "length " << len;
+  }
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to cross "
+      "block boundaries in interesting ways.";
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.Update(msg.substr(0, split));
+    h.Update(msg.substr(split));
+    EXPECT_EQ(ToHex(h.Finalize()), ToHex(Sha256Hash(msg)));
+  }
+}
+
+TEST(Sha256, DifferentInputsDiffer) {
+  EXPECT_NE(ToHex(Sha256Hash("node-1")), ToHex(Sha256Hash("node-2")));
+  EXPECT_NE(ToHex(Sha256Hash("")), ToHex(Sha256Hash(std::string(1, '\0'))));
+}
+
+}  // namespace
+}  // namespace disco

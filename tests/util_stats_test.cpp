@@ -1,0 +1,99 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace disco {
+namespace {
+
+TEST(Stats, EmptySummaryIsZero) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0);
+}
+
+TEST(Stats, SingleValue) {
+  const Summary s = Summarize({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 42.0);
+  EXPECT_EQ(s.min, 42.0);
+  EXPECT_EQ(s.max, 42.0);
+  EXPECT_EQ(s.p50, 42.0);
+}
+
+TEST(Stats, BasicSummary) {
+  const Summary s = Summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> sorted = {0, 10};
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 0.95), 9.5);
+}
+
+TEST(Stats, SummaryUnsortedInput) {
+  const Summary s = Summarize({5, 1, 4, 2, 3});
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(Stats, CdfIsMonotone) {
+  std::vector<double> vals;
+  for (int i = 0; i < 1000; ++i) vals.push_back((i * 37) % 101);
+  const auto cdf = Cdf(vals, 32);
+  ASSERT_GE(cdf.size(), 2u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+    EXPECT_LE(cdf[i - 1].fraction, cdf[i].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(Stats, CdfIncludesExtremes) {
+  const auto cdf = Cdf({3, 1, 2}, 16);
+  EXPECT_EQ(cdf.front().value, 1.0);
+  EXPECT_EQ(cdf.back().value, 3.0);
+}
+
+TEST(Stats, CdfRespectsMaxPoints) {
+  std::vector<double> vals(1000, 0);
+  for (int i = 0; i < 1000; ++i) vals[i] = i;
+  EXPECT_LE(Cdf(vals, 10).size(), 10u);
+}
+
+TEST(Stats, CdfEmptyInput) {
+  EXPECT_TRUE(Cdf({}, 8).empty());
+}
+
+TEST(Stats, CdfToCsvHasHeaderAndRows) {
+  const std::string csv = CdfToCsv(Cdf({1, 2, 3}, 8));
+  EXPECT_NE(csv.find("value\tcdf"), std::string::npos);
+  EXPECT_NE(csv.find('1'), std::string::npos);
+}
+
+TEST(Stats, WriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/disco_stats_test.txt";
+  ASSERT_TRUE(WriteFile(path, "hello\n"));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "hello");
+  std::remove(path.c_str());
+}
+
+TEST(Stats, WriteFileFailsOnBadPath) {
+  EXPECT_FALSE(WriteFile("/nonexistent-dir-xyz/file.txt", "x"));
+}
+
+}  // namespace
+}  // namespace disco
