@@ -119,18 +119,24 @@ Graph MakeGnm(const Args& args, NodeId def_n) {
 StateSeries CollectState(const Graph& g, const Params& p) {
   Disco disco(g, p);
   S4 s4(g, p);
-  s4.ClusterSizes();  // one pass over all nodes
+  s4.ClusterSizes();  // one parallel pass over all nodes
+  s4.PrewarmLandmarkTrees();
 
   StateSeries out;
-  out.disco.reserve(g.num_nodes());
-  out.nddisco.reserve(g.num_nodes());
-  out.s4.reserve(g.num_nodes());
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    out.disco.push_back(static_cast<double>(disco.State(v).total()));
-    out.nddisco.push_back(static_cast<double>(
-        disco.nd().State(v, &disco.resolution()).total()));
-    out.s4.push_back(static_cast<double>(s4.State(v).total()));
-  }
+  out.disco.resize(g.num_nodes());
+  out.nddisco.resize(g.num_nodes());
+  out.s4.resize(g.num_nodes());
+  // Per-node state reads converged tables only; disjoint slots keep the
+  // series thread-count-invariant.
+  runtime::ParallelFor(0, g.num_nodes(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t vi = lo; vi < hi; ++vi) {
+      const NodeId v = static_cast<NodeId>(vi);
+      out.disco[vi] = static_cast<double>(disco.State(v).total());
+      out.nddisco[vi] = static_cast<double>(
+          disco.nd().State(v, &disco.resolution()).total());
+      out.s4[vi] = static_cast<double>(s4.State(v).total());
+    }
+  });
   return out;
 }
 
@@ -142,6 +148,17 @@ void RunThousandNodeComparison(const std::string& tag, const Graph& g,
   S4 s4(g, p);
   const Vrr vrr(g, p);
   ShortestPathRouting spf(g, g.num_nodes());
+
+  // This sweep routes from every node and toward most landmarks, so the
+  // whole converged working set will be needed; bulk-compute it over the
+  // pool up front rather than faulting it in one route at a time.
+  disco.nd().PrewarmLandmarkTrees();
+  s4.PrewarmLandmarkTrees();
+  {
+    std::vector<NodeId> all(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+    disco.nd().PrewarmVicinities(all);
+  }
 
   // --- State (left panels) ---
   std::printf("\n[state: entries per node, CDF over nodes]\n");

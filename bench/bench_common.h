@@ -13,11 +13,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/disco.h"
 #include "graph/graph.h"
+#include "runtime/parallel_for.h"
 #include "util/stats.h"
 
 namespace disco::bench {
@@ -72,6 +74,24 @@ Graph MakeAsLevel(const Args& args);       // paper: 30,610 nodes
 Graph MakeRouterLevel(const Args& args);   // paper: 192,244 (default 32,768)
 Graph MakeGeometric(const Args& args, NodeId def_n);  // latency-annotated
 Graph MakeGnm(const Args& args, NodeId def_n);        // avg degree 8
+
+/// Multi-trial dispatch: runs trials 0..count-1 over the runtime thread
+/// pool and returns their results in trial order. Trials must be
+/// independent (build their own graphs/protocols from the trial index) and
+/// must not print — return the printable result instead, so stdout and TSV
+/// output stay byte-identical for any DISCO_THREADS. Pass a `pool` (e.g. a
+/// ThreadPool(1)) to bound trial-level concurrency when each trial holds
+/// a large working set; nested fan-outs inside a trial still use the
+/// shared pool.
+template <typename R>
+std::vector<R> RunTrials(std::size_t count,
+                         const std::function<R(std::size_t)>& trial,
+                         runtime::ThreadPool* pool = nullptr) {
+  std::vector<R> results(count);
+  runtime::ParallelForTasks(
+      count, [&](std::size_t i) { results[i] = trial(i); }, pool);
+  return results;
+}
 
 /// Per-node Disco/NDDisco/S4 state totals for all nodes (Fig. 2/4/5/7).
 struct StateSeries {

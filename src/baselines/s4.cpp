@@ -1,7 +1,10 @@
 #include "baselines/s4.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+
+#include "runtime/parallel_for.h"
 
 namespace disco {
 
@@ -12,6 +15,8 @@ S4::S4(const Graph& g, const Params& params)
       names_(NameTable::Default(g.num_nodes())),
       resolution_(names_, landmarks_, params.resolution_virtual_points) {}
 
+void S4::PrewarmLandmarkTrees() { trees_.Prewarm(); }
+
 Dist S4::BallRadius(NodeId t) const {
   // The radius comes from the landmark-side Dijkstra while ball searches
   // sum from t's side; a relative epsilon keeps the boundary node (l_t
@@ -20,12 +25,20 @@ Dist S4::BallRadius(NodeId t) const {
 }
 
 std::shared_ptr<const Vicinity> S4::Ball(NodeId t) {
-  auto it = balls_.find(t);
-  if (it != balls_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = balls_.find(t);
+    if (it != balls_.end()) return it->second;
+  }
   auto ball = std::make_shared<const Vicinity>(
       t, WithinRadius(*g_, t, BallRadius(t)));
-  if (balls_.size() > 512) balls_.clear();  // crude bound; balls are small
-  balls_.emplace(t, ball);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = balls_.emplace(t, ball);
+  if (!inserted) return it->second;  // racing thread computed it first
+  if (balls_.size() > 512) {  // crude bound; balls are small
+    balls_.clear();
+    balls_.emplace(t, ball);
+  }
   return ball;
 }
 
@@ -87,15 +100,32 @@ Route S4::RouteFirst(NodeId s, NodeId t) {
 }
 
 const std::vector<std::size_t>& S4::ClusterSizes() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!cluster_sizes_.empty()) return cluster_sizes_;
-  cluster_sizes_.assign(g_->num_nodes(), 0);
+  const NodeId n = g_->num_nodes();
   // w ∈ C(v)  ⇔  d(v,w) ≤ d(w,l_w)  ⇔  v ∈ Ball(w, radius_w):
-  // enumerate each node's ball once and charge every member.
-  RadiusSearcher searcher(*g_);
-  std::vector<NearNode> ball;
-  for (NodeId w = 0; w < g_->num_nodes(); ++w) {
-    searcher.Search(w, BallRadius(w), ball);
-    for (const NearNode& m : ball) ++cluster_sizes_[m.node];
+  // enumerate each node's ball once and charge every member. The per-node
+  // searches fan out over the pool; the charges are relaxed atomic
+  // increments, whose sums are order-independent.
+  std::vector<std::atomic<std::size_t>> counts(n);
+  for (auto& c : counts) c.store(0, std::memory_order_relaxed);
+  runtime::ParallelFor(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        RadiusSearcher searcher(*g_);
+        std::vector<NearNode> ball;
+        for (std::size_t w = lo; w < hi; ++w) {
+          searcher.Search(static_cast<NodeId>(w),
+                          BallRadius(static_cast<NodeId>(w)), ball);
+          for (const NearNode& m : ball) {
+            counts[m.node].fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      },
+      nullptr, std::max<std::size_t>(1, n / 256));
+  cluster_sizes_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    cluster_sizes_[v] = counts[v].load(std::memory_order_relaxed);
   }
   return cluster_sizes_;
 }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -45,6 +46,11 @@ class S4 {
   const NameTable& names() const { return names_; }
   const ResolutionDb& resolution() const { return resolution_; }
 
+  /// Fans every landmark-tree Dijkstra out over the thread pool up front
+  /// (when the whole set fits in the cache). Harness-level opt-in for
+  /// sweeps that will touch most landmarks; ad-hoc routing stays lazy.
+  void PrewarmLandmarkTrees();
+
   /// d(t, l_t): the cluster-inclusion radius of destination t.
   Dist ClusterRadius(NodeId t) const {
     return addresses_.landmark_distance(t);
@@ -70,7 +76,9 @@ class S4 {
   /// on first use (one bounded Dijkstra per node, radius d(w, l_w)).
   StateBreakdown State(NodeId v);
 
-  /// Cluster sizes for every node (the Fig. 2 state distribution).
+  /// Cluster sizes for every node (the Fig. 2 state distribution). The
+  /// per-node ball searches fan out over the runtime thread pool; counts
+  /// are integer sums, so the result is thread-count-invariant.
   const std::vector<std::size_t>& ClusterSizes();
 
  private:
@@ -87,6 +95,10 @@ class S4 {
   NameTable names_;
   ResolutionDb resolution_;
 
+  // Guards the memo structures below; routing entry points are safe to
+  // call concurrently (the ball/cluster computations themselves run
+  // unlocked).
+  std::mutex mu_;
   std::vector<std::size_t> cluster_sizes_;  // lazily filled
   // Memoized destination balls (routing touches few destinations but
   // repeatedly).

@@ -10,12 +10,23 @@ ShortestPathRouting::ShortestPathRouting(const Graph& g,
 
 std::shared_ptr<const ShortestPathTree> ShortestPathRouting::TreeOf(
     NodeId dest) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(dest);
+    if (it != cache_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.tree;
+    }
+  }
+  // Compute unlocked so concurrent misses on distinct destinations run
+  // their Dijkstras in parallel; a racing duplicate is harmless.
+  auto tree = std::make_shared<const ShortestPathTree>(Dijkstra(*g_, dest));
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(dest);
   if (it != cache_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     return it->second.tree;
   }
-  auto tree = std::make_shared<const ShortestPathTree>(Dijkstra(*g_, dest));
   lru_.push_front(dest);
   cache_.emplace(dest, Entry{tree, lru_.begin()});
   if (cache_.size() > capacity_) {

@@ -6,6 +6,7 @@
 
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "core/route.h"
@@ -20,7 +21,8 @@ class ShortestPathRouting {
   explicit ShortestPathRouting(const Graph& g,
                                std::size_t cache_capacity = 256);
 
-  /// The shortest path s -> t (ties broken deterministically).
+  /// The shortest path s -> t (ties broken deterministically). Safe to
+  /// call concurrently (the destination-tree cache is lock-protected).
   Route RoutePacket(NodeId s, NodeId t);
 
   /// n FIB entries per node, the path-vector data plane.
@@ -31,6 +33,7 @@ class ShortestPathRouting {
 
   const Graph* g_;
   std::size_t capacity_;
+  std::mutex mu_;
   std::list<NodeId> lru_;
   struct Entry {
     std::shared_ptr<const ShortestPathTree> tree;

@@ -49,6 +49,18 @@ class NdDisco {
     return vicinities_.Get(v);
   }
 
+  /// Bulk-computes the vicinities of `nodes` over the runtime thread pool
+  /// (wall-clock only; contents are deterministic). Use before a sweep
+  /// that routes from a known set of sources.
+  void PrewarmVicinities(const std::vector<NodeId>& nodes) {
+    vicinities_.Prewarm(nodes);
+  }
+
+  /// Fans every landmark-tree Dijkstra out over the thread pool up front
+  /// (when the whole set fits in the cache). For sweeps that will touch
+  /// most landmarks anyway; ad-hoc routing should stay lazy/LRU.
+  void PrewarmLandmarkTrees() { trees_.Prewarm(); }
+
   /// The Dijkstra tree of landmark l (memoized); how every node knows its
   /// shortest path to l.
   std::shared_ptr<const ShortestPathTree> LandmarkTree(NodeId l) {

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "runtime/parallel_for.h"
 #include "util/hashring.h"
 #include "util/rng.h"
 
@@ -94,44 +95,57 @@ Overlay::Overlay(const NameTable& names, const SloppyGroups& groups,
     return it->node;
   };
 
-  for (NodeId v = 0; v < n; ++v) {
-    Rng rng = base.Fork(v);
-    const HashValue hv = names.hash(v);
-    const int bits = groups.bits_of(v);
-    const Block b = BlockOf(hv, bits);
-    const int width = b.full ? 64 : (64 - bits);
-    // Symphony draws harmonic distances no smaller than the expected
-    // member spacing — otherwise most fingers collapse onto the ring
-    // successor and add nothing.
-    const double group_size_est =
-        std::max(2.0, static_cast<double>(n) / std::exp2(bits));
-    const double min_exponent =
-        std::max(0.0, static_cast<double>(width) - std::log2(group_size_est));
-    for (int f = 0; f < params.fingers; ++f) {
-      NodeId target_node = kInvalidNode;
-      for (int attempt = 0; attempt < 8 && target_node == kInvalidNode;
-           ++attempt) {
-        // Log-uniform offset: P(offset near x) ∝ 1/x, Symphony-style.
-        const double u = rng.NextDouble();
-        const double exponent =
-            min_exponent + u * (static_cast<double>(width) - min_exponent);
-        const HashValue offset = static_cast<HashValue>(
-            std::min(std::exp2(exponent),
-                     std::exp2(static_cast<double>(width)) - 1.0));
-        HashValue target;
-        if (b.full) {
-          target = hv + std::max<HashValue>(offset, 1);
-        } else {
-          const HashValue rel = (hv - b.start + std::max<HashValue>(
-                                                    offset, 1)) %
-                                b.span;
-          target = b.start + rel;
+  // Finger selection is a per-node decision seeded by (seed, v), so the
+  // draws fan out over the thread pool into per-node slots; the links are
+  // then added sequentially in node order, which keeps the adjacency
+  // byte-identical to a single-threaded construction.
+  std::vector<std::vector<NodeId>> finger_choices(n);
+  runtime::ParallelFor(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t vi = lo; vi < hi; ++vi) {
+      const NodeId v = static_cast<NodeId>(vi);
+      Rng rng = base.Fork(v);
+      const HashValue hv = names.hash(v);
+      const int bits = groups.bits_of(v);
+      const Block b = BlockOf(hv, bits);
+      const int width = b.full ? 64 : (64 - bits);
+      // Symphony draws harmonic distances no smaller than the expected
+      // member spacing — otherwise most fingers collapse onto the ring
+      // successor and add nothing.
+      const double group_size_est =
+          std::max(2.0, static_cast<double>(n) / std::exp2(bits));
+      const double min_exponent = std::max(
+          0.0, static_cast<double>(width) - std::log2(group_size_est));
+      for (int f = 0; f < params.fingers; ++f) {
+        NodeId target_node = kInvalidNode;
+        for (int attempt = 0; attempt < 8 && target_node == kInvalidNode;
+             ++attempt) {
+          // Log-uniform offset: P(offset near x) ∝ 1/x, Symphony-style.
+          const double u = rng.NextDouble();
+          const double exponent =
+              min_exponent + u * (static_cast<double>(width) - min_exponent);
+          const HashValue offset = static_cast<HashValue>(
+              std::min(std::exp2(exponent),
+                       std::exp2(static_cast<double>(width)) - 1.0));
+          HashValue target;
+          if (b.full) {
+            target = hv + std::max<HashValue>(offset, 1);
+          } else {
+            const HashValue rel = (hv - b.start + std::max<HashValue>(
+                                                      offset, 1)) %
+                                  b.span;
+            target = b.start + rel;
+          }
+          const NodeId cand = member_closest_to(b, target);
+          if (cand != kInvalidNode && cand != v) target_node = cand;
         }
-        const NodeId cand = member_closest_to(b, target);
-        if (cand != kInvalidNode && cand != v) target_node = cand;
+        if (target_node != kInvalidNode) {
+          finger_choices[vi].push_back(target_node);
+        }
       }
-      if (target_node != kInvalidNode) link(v, target_node);
     }
+  });
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId target : finger_choices[v]) link(v, target);
   }
 
   for (auto& neigh : adjacency_) {

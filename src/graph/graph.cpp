@@ -4,7 +4,7 @@
 
 namespace disco {
 
-Graph Graph::FromEdges(NodeId n, std::span<const WeightedEdge> edges) {
+Graph Graph::FromEdges(NodeId n, Span<const WeightedEdge> edges) {
   Graph g;
   g.num_nodes_ = n;
   g.edges_.reserve(edges.size());

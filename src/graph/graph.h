@@ -8,8 +8,9 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
 #include <vector>
+
+#include "util/span.h"
 
 namespace disco {
 
@@ -41,12 +42,12 @@ class Graph {
   /// Builds a graph with `n` nodes from an undirected edge list.
   /// Self-loops are dropped; parallel edges are kept (they are harmless to
   /// every algorithm here). Edge weights must be positive.
-  static Graph FromEdges(NodeId n, std::span<const WeightedEdge> edges);
+  static Graph FromEdges(NodeId n, Span<const WeightedEdge> edges);
 
   NodeId num_nodes() const { return num_nodes_; }
   std::size_t num_edges() const { return edges_.size(); }
 
-  std::span<const Neighbor> neighbors(NodeId v) const {
+  Span<const Neighbor> neighbors(NodeId v) const {
     return {arcs_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
   }
 

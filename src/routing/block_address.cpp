@@ -1,7 +1,7 @@
 #include "routing/block_address.h"
 
 #include <algorithm>
-#include <bit>
+#include "util/bitio.h"
 #include <cassert>
 
 namespace disco {
@@ -61,7 +61,7 @@ BlockAddressing::BlockAddressing(const Graph& g, const AddressBook& book,
   for (const NodeId root : book.landmarks().landmarks) {
     max_cap = std::max(max_cap, cap[root]);
   }
-  bits_ = std::bit_width(max_cap - 1);
+  bits_ = BitWidth(max_cap - 1);
   if (bits_ == 0) bits_ = 1;
 
   // Top-down assignment: a node owns the first slot of its range and its

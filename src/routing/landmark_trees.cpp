@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "runtime/parallel_for.h"
+
 namespace disco {
 
 LandmarkTreeCache::LandmarkTreeCache(const Graph& g,
@@ -12,12 +14,28 @@ LandmarkTreeCache::LandmarkTreeCache(const Graph& g,
 
 std::shared_ptr<const ShortestPathTree> LandmarkTreeCache::Tree(NodeId l) {
   assert(landmarks_.Contains(l));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(l);
+    if (it != cache_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.tree;
+    }
+  }
+  // Miss: run the Dijkstra unlocked so concurrent misses on distinct
+  // landmarks proceed in parallel. A racing duplicate computation of the
+  // same tree is possible but harmless — Insert keeps the first one.
+  return Insert(l, std::make_shared<const ShortestPathTree>(Dijkstra(g_, l)));
+}
+
+std::shared_ptr<const ShortestPathTree> LandmarkTreeCache::Insert(
+    NodeId l, std::shared_ptr<const ShortestPathTree> tree) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(l);
   if (it != cache_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     return it->second.tree;
   }
-  auto tree = std::make_shared<const ShortestPathTree>(Dijkstra(g_, l));
   ++computed_;
   lru_.push_front(l);
   cache_.emplace(l, Entry{tree, lru_.begin()});
@@ -27,6 +45,29 @@ std::shared_ptr<const ShortestPathTree> LandmarkTreeCache::Tree(NodeId l) {
     cache_.erase(evict);
   }
   return tree;
+}
+
+void LandmarkTreeCache::Prewarm(std::size_t max_resident_entries) {
+  const std::vector<NodeId>& all = landmarks_.landmarks;
+  if (all.empty() || all.size() > capacity_) return;
+  if (all.size() * static_cast<std::size_t>(g_.num_nodes()) >
+      max_resident_entries) {
+    return;
+  }
+  if (runtime::ThreadPool::Shared().parallelism() == 1) return;  // stay lazy
+  std::vector<std::shared_ptr<const ShortestPathTree>> trees(all.size());
+  runtime::ParallelForTasks(all.size(), [&](std::size_t i) {
+    trees[i] = std::make_shared<const ShortestPathTree>(
+        Dijkstra(g_, all[i]));
+  });
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    Insert(all[i], std::move(trees[i]));
+  }
+}
+
+std::size_t LandmarkTreeCache::computed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return computed_;
 }
 
 }  // namespace disco

@@ -6,11 +6,17 @@
 // s ; l segment of routes. Trees are O(n) each, so for the paper-scale maps
 // the cache is bounded and the benches sort their sampled destinations by
 // closest landmark to maximize reuse.
+//
+// The cache is thread-safe: concurrent routing tasks may miss on distinct
+// landmarks and run their Dijkstras in parallel (the lock covers only map
+// bookkeeping). Prewarm() bulk-computes the whole tree set over the
+// runtime's thread pool when it fits in the cache.
 #pragma once
 
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -27,16 +33,28 @@ class LandmarkTreeCache {
                     std::size_t capacity = 2048);
 
   /// The Dijkstra tree rooted at landmark `l` (l must be a landmark).
+  /// Safe to call concurrently.
   std::shared_ptr<const ShortestPathTree> Tree(NodeId l);
+
+  /// Eagerly computes every landmark tree in parallel. No-op unless the
+  /// full set fits in the cache and within `max_resident_entries` total
+  /// tree entries (count * n) — paper-scale --full maps stay lazy/LRU.
+  /// Purely a wall-clock optimization: cache contents are a deterministic
+  /// function of the graph either way.
+  void Prewarm(std::size_t max_resident_entries = 32u << 20);
 
   const LandmarkSet& landmarks() const { return landmarks_; }
 
-  std::size_t computed_count() const { return computed_; }
+  std::size_t computed_count() const;
 
  private:
+  std::shared_ptr<const ShortestPathTree> Insert(
+      NodeId l, std::shared_ptr<const ShortestPathTree> tree);
+
   const Graph& g_;
   const LandmarkSet& landmarks_;
   std::size_t capacity_;
+  mutable std::mutex mu_;
   std::size_t computed_ = 0;
   std::list<NodeId> lru_;
   struct Entry {

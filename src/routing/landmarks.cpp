@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "runtime/parallel_for.h"
 #include "util/rng.h"
 
 namespace disco {
@@ -13,13 +14,21 @@ LandmarkSet SelectLandmarks(NodeId n, const Params& params) {
   LandmarkSet set;
   set.is_landmark.assign(n, 0);
 
-  Rng base(params.seed);
+  // Fork per node: each node's coin depends only on (seed, v), mirroring
+  // the local and independent decision of the protocol — which also makes
+  // the draws embarrassingly parallel with thread-count-invariant results.
+  const Rng base(params.seed);
+  std::vector<double> draws(n);
+  runtime::ParallelFor(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      draws[v] = base.Fork(v).NextDouble();
+    }
+  });
+
   double min_draw = 2.0;
   NodeId min_node = 0;
   for (NodeId v = 0; v < n; ++v) {
-    // Fork per node: each node's coin depends only on (seed, v), mirroring
-    // the local and independent decision of the protocol.
-    const double draw = base.Fork(v).NextDouble();
+    const double draw = draws[v];
     if (draw < p) {
       set.is_landmark[v] = 1;
       set.landmarks.push_back(v);

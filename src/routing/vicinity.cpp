@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "runtime/parallel_for.h"
+
 namespace disco {
 
 Vicinity::Vicinity(NodeId owner, std::vector<NearNode> members)
@@ -42,12 +44,28 @@ VicinityCache::VicinityCache(const Graph& g, std::size_t k,
       capacity_(std::max<std::size_t>(capacity, 1)) {}
 
 std::shared_ptr<const Vicinity> VicinityCache::Get(NodeId v) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(v);
+    if (it != cache_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.vicinity;
+    }
+  }
+  // Miss: truncated Dijkstra runs unlocked so concurrent misses on
+  // distinct nodes parallelize. A racing duplicate of the same vicinity is
+  // harmless — Insert keeps the first.
+  return Insert(v, std::make_shared<const Vicinity>(v, KNearest(g_, v, k_)));
+}
+
+std::shared_ptr<const Vicinity> VicinityCache::Insert(
+    NodeId v, std::shared_ptr<const Vicinity> vic) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(v);
   if (it != cache_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     return it->second.vicinity;
   }
-  auto vic = std::make_shared<const Vicinity>(v, KNearest(g_, v, k_));
   ++computed_;
   lru_.push_front(v);
   cache_.emplace(v, Entry{vic, lru_.begin()});
@@ -57,6 +75,30 @@ std::shared_ptr<const Vicinity> VicinityCache::Get(NodeId v) {
     cache_.erase(evict);
   }
   return vic;
+}
+
+void VicinityCache::Prewarm(const std::vector<NodeId>& nodes) {
+  std::vector<NodeId> missing;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const NodeId v : nodes) {
+      if (cache_.find(v) == cache_.end()) missing.push_back(v);
+    }
+  }
+  if (missing.size() > capacity_) missing.resize(capacity_);
+  std::vector<std::shared_ptr<const Vicinity>> built(missing.size());
+  runtime::ParallelForTasks(missing.size(), [&](std::size_t i) {
+    built[i] = std::make_shared<const Vicinity>(
+        missing[i], KNearest(g_, missing[i], k_));
+  });
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    Insert(missing[i], std::move(built[i]));
+  }
+}
+
+std::size_t VicinityCache::computed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return computed_;
 }
 
 }  // namespace disco

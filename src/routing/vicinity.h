@@ -5,12 +5,15 @@
 // The static simulator computes a vicinity with one truncated Dijkstra and
 // memoizes it: the evaluation touches vicinities of sampled sources and of
 // nodes along routes (shortcutting), with heavy reuse, so an LRU cache keyed
-// by node id backs every protocol object.
+// by node id backs every protocol object. The cache is thread-safe, so
+// parallel route sampling computes the vicinities of distinct sources
+// concurrently; Prewarm() bulk-computes a known working set up front.
 #pragma once
 
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -61,15 +64,26 @@ class VicinityCache {
   /// `k` is the vicinity size; `capacity` the number of vicinities kept.
   VicinityCache(const Graph& g, std::size_t k, std::size_t capacity = 4096);
 
+  /// Safe to call concurrently; misses on distinct nodes run their
+  /// truncated Dijkstras in parallel.
   std::shared_ptr<const Vicinity> Get(NodeId v);
 
+  /// Computes the vicinities of `nodes` in parallel over the runtime pool
+  /// (skipping ones already cached). A wall-clock optimization only:
+  /// vicinity contents are a deterministic function of the graph.
+  void Prewarm(const std::vector<NodeId>& nodes);
+
   std::size_t k() const { return k_; }
-  std::size_t computed_count() const { return computed_; }
+  std::size_t computed_count() const;
 
  private:
+  std::shared_ptr<const Vicinity> Insert(
+      NodeId v, std::shared_ptr<const Vicinity> vic);
+
   const Graph& g_;
   std::size_t k_;
   std::size_t capacity_;
+  mutable std::mutex mu_;
   std::size_t computed_ = 0;
   std::list<NodeId> lru_;  // front = most recent
   struct Entry {

@@ -1,0 +1,124 @@
+#include "runtime/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace disco::runtime {
+namespace {
+
+// One parallel section: chunks are claimed from an atomic cursor by the
+// submitting thread and any worker that picks up a helper task. Helpers
+// arriving after the loop has drained simply return.
+//
+// Exception safety: a throwing body is caught and re-thrown on the
+// submitting thread — but only after every chunk has finished, so helper
+// tasks never touch state the unwinding caller has destroyed.
+struct LoopState {
+  std::size_t begin = 0;
+  std::size_t grain = 1;
+  std::size_t num_chunks = 0;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::size_t end = 0;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr first_error;  // guarded by mu
+
+  void Drain() {
+    for (;;) {
+      const std::size_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) return;
+      const std::size_t lo = begin + chunk * grain;
+      const std::size_t hi = std::min(end, lo + grain);
+      try {
+        (*body)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+void RunLoop(std::size_t begin, std::size_t end, std::size_t grain,
+             const std::function<void(std::size_t, std::size_t)>& body,
+             ThreadPool* pool) {
+  if (begin >= end) return;
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Shared();
+  const std::size_t n = end - begin;
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+
+  if (p.parallelism() == 1 || num_chunks == 1) {
+    // Same exception contract as the parallel path: every chunk runs, the
+    // first exception is rethrown at the end — so observable state never
+    // depends on the thread count.
+    std::exception_ptr first_error;
+    for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      const std::size_t lo = begin + chunk * grain;
+      try {
+        body(lo, std::min(end, lo + grain));
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+  state->body = &body;
+
+  const std::size_t helpers =
+      std::min(p.parallelism() - 1, num_chunks - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    p.Submit([state] { state->Drain(); });
+  }
+  state->Drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == num_chunks;
+  });
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+}  // namespace
+
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t, std::size_t)>& body,
+                 ThreadPool* pool, std::size_t grain) {
+  if (begin >= end) return;
+  if (grain == 0) {
+    // Auto grain: enough chunks for balance on any realistic machine while
+    // keeping per-chunk dispatch cost negligible. Depends only on the
+    // range, so chunk boundaries are thread-count-invariant.
+    const std::size_t n = end - begin;
+    grain = std::max<std::size_t>(1, n / 64);
+  }
+  RunLoop(begin, end, grain, body, pool);
+}
+
+void ParallelForTasks(std::size_t num_tasks,
+                      const std::function<void(std::size_t)>& body,
+                      ThreadPool* pool) {
+  RunLoop(
+      0, num_tasks, 1,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t t = lo; t < hi; ++t) body(t);
+      },
+      pool);
+}
+
+}  // namespace disco::runtime

@@ -1,0 +1,36 @@
+// Deterministic data-parallel loops over the ThreadPool.
+//
+// Both entry points guarantee: every index/task runs exactly once, the
+// calling thread participates (so nesting never deadlocks, and a
+// parallelism-1 pool degenerates to a plain sequential loop), and the
+// caller returns only after all work has finished. Determinism is a
+// contract with the caller: bodies must write to disjoint, index-addressed
+// slots, and any ordered reduction must happen after the loop, in index
+// order. Per-task randomness must come from rng_stream.h so it depends on
+// the task index, never on the executing thread.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "runtime/thread_pool.h"
+
+namespace disco::runtime {
+
+/// Runs body(lo, hi) over a partition of [begin, end). `grain` is the
+/// minimum chunk width (0 = auto). The partition depends only on the range
+/// and grain — never on the thread count — so per-chunk state (RNG draws,
+/// float accumulation order) is reproducible across pool sizes.
+/// If a body throws, the first exception is re-thrown on the calling
+/// thread after all chunks have finished (remaining chunks still run).
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t, std::size_t)>& body,
+                 ThreadPool* pool = nullptr, std::size_t grain = 0);
+
+/// Runs body(task) for task = 0 .. num_tasks-1, each exactly once. Use when
+/// every task is substantial (a Dijkstra, a whole experiment trial).
+void ParallelForTasks(std::size_t num_tasks,
+                      const std::function<void(std::size_t)>& body,
+                      ThreadPool* pool = nullptr);
+
+}  // namespace disco::runtime

@@ -1,0 +1,22 @@
+// Deterministic per-task RNG streams for parallel sections.
+//
+// A parallel experiment must draw the same random numbers no matter how
+// many threads execute it. The rule: never share an Rng across tasks;
+// derive each task's stream from (master seed, task index) only. Rng::Fork
+// already provides statistically independent substreams, so this header
+// just fixes the convention the runtime-using code follows.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace disco::runtime {
+
+/// The RNG stream of task `task_index` under `seed`. Bit-reproducible for
+/// any thread count and schedule, because it depends on nothing else.
+inline Rng TaskRng(std::uint64_t seed, std::uint64_t task_index) {
+  return Rng(seed).Fork(task_index);
+}
+
+}  // namespace disco::runtime

@@ -1,0 +1,65 @@
+// Shared-memory execution runtime for the experiment harness.
+//
+// Design constraints, in priority order:
+//   1. Determinism: nothing here may make results depend on the number of
+//      threads. The pool only schedules; work decomposition and result
+//      merging stay with the caller (see parallel_for.h and rng_stream.h).
+//   2. No deadlocks under nesting: parallel sections started from inside a
+//      pool task must always make progress even when every worker is busy,
+//      so loops are drained by the submitting thread too (work sharing,
+//      not work stealing).
+//   3. One global knob: DISCO_THREADS=<k> caps total parallelism (workers
+//      plus the calling thread); unset or 0 means hardware_concurrency.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace disco::runtime {
+
+/// Total parallelism the process should use: DISCO_THREADS when set to a
+/// positive integer, else std::thread::hardware_concurrency (at least 1).
+std::size_t DefaultThreadCount();
+
+/// A fixed-size pool of `parallelism - 1` worker threads; the thread that
+/// opens a parallel section is always the remaining unit of parallelism.
+/// With parallelism 1 there are no workers and Submit() runs inline, which
+/// is exactly the bit-for-bit reference execution.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t parallelism);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Workers + the calling thread.
+  std::size_t parallelism() const { return workers_.size() + 1; }
+
+  /// Enqueues a task. Tasks must not throw. When the pool has no workers
+  /// the task runs synchronously on the calling thread.
+  void Submit(std::function<void()> task);
+
+  /// The process-wide pool, sized by DefaultThreadCount() on first use.
+  static ThreadPool& Shared();
+
+  /// Replaces the shared pool (tests compare thread counts). Must not be
+  /// called while parallel sections are running.
+  static void ResetShared(std::size_t parallelism);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace disco::runtime

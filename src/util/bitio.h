@@ -9,6 +9,19 @@
 
 namespace disco {
 
+/// Position of the highest set bit plus one (0 for x == 0); the C++17
+/// stand-in for std::bit_width. Hot path: CommonPrefixLength calls this
+/// once per candidate in every longest-prefix-match scan.
+inline int BitWidth(std::uint64_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return x == 0 ? 0 : 64 - __builtin_clzll(x);
+#else
+  int width = 0;
+  for (; x != 0; x >>= 1) ++width;
+  return width;
+#endif
+}
+
 /// Appends variable-width unsigned values to a growing byte buffer.
 class BitWriter {
  public:

@@ -1,16 +1,15 @@
 #include "util/compact_label.h"
 
-#include <bit>
 #include <cassert>
 
 namespace disco {
 
 int LabelBits(std::uint32_t degree) {
   if (degree <= 1) return 0;
-  return std::bit_width(degree - 1);
+  return BitWidth(degree - 1);
 }
 
-EncodedRoute EncodeRoute(std::span<const HopLabel> hops) {
+EncodedRoute EncodeRoute(Span<const HopLabel> hops) {
   BitWriter w;
   for (const HopLabel& h : hops) {
     assert(h.interface < std::max<std::uint32_t>(h.degree, 1));

@@ -14,10 +14,10 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "util/bitio.h"
+#include "util/span.h"
 
 namespace disco {
 
@@ -43,7 +43,7 @@ struct EncodedRoute {
 };
 
 /// Packs a hop sequence into an EncodedRoute.
-EncodedRoute EncodeRoute(std::span<const HopLabel> hops);
+EncodedRoute EncodeRoute(Span<const HopLabel> hops);
 
 /// Streaming decoder. The caller walks the graph: at each step it passes the
 /// degree of the node the route currently sits at and receives the interface

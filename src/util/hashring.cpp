@@ -1,8 +1,8 @@
 #include "util/hashring.h"
 
-#include <bit>
 #include <cassert>
 
+#include "util/bitio.h"
 #include "util/sha256.h"
 
 namespace disco {
@@ -27,7 +27,7 @@ std::uint64_t ClockwiseDistance(HashValue from, HashValue to) {
 int CommonPrefixLength(HashValue a, HashValue b) {
   const std::uint64_t x = a ^ b;
   if (x == 0) return 64;
-  return std::countl_zero(x);
+  return 64 - BitWidth(x);
 }
 
 std::uint64_t GroupId(HashValue h, int bits) {

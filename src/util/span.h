@@ -1,0 +1,52 @@
+// Minimal std::span stand-in so the codebase builds as C++17.
+//
+// Only the operations this repository uses: pointer+size construction,
+// implicit conversion from contiguous containers, iteration, indexing.
+// Swap back to std::span wholesale once the toolchain baseline moves to
+// C++20 — the call sites are source-compatible.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+namespace disco {
+
+template <typename T>
+class Span {
+ public:
+  using value_type = std::remove_cv_t<T>;
+
+  constexpr Span() = default;
+  constexpr Span(T* data, std::size_t size) : data_(data), size_(size) {}
+
+  /// Implicit view over any contiguous container with data()/size()
+  /// (std::vector, std::array, C arrays via std::data).
+  template <typename Container,
+            typename = std::enable_if_t<std::is_convertible_v<
+                decltype(std::declval<Container&>().data()), T*>>>
+  constexpr Span(Container& c) : data_(c.data()), size_(c.size()) {}
+  template <typename Container,
+            typename = std::enable_if_t<std::is_convertible_v<
+                decltype(std::declval<const Container&>().data()), T*>>>
+  constexpr Span(const Container& c) : data_(c.data()), size_(c.size()) {}
+
+  template <std::size_t N>
+  constexpr Span(T (&arr)[N]) : data_(arr), size_(N) {}
+
+  constexpr T* data() const { return data_; }
+  constexpr std::size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr T& operator[](std::size_t i) const { return data_[i]; }
+  constexpr T& front() const { return data_[0]; }
+  constexpr T& back() const { return data_[size_ - 1]; }
+
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace disco

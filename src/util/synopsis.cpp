@@ -1,6 +1,5 @@
 #include "util/synopsis.h"
 
-#include <bit>
 #include <cassert>
 #include <cmath>
 
@@ -14,10 +13,24 @@ std::uint64_t Mix(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+// Trailing zero count (64 for zero); C++17 stand-in for std::countr_zero.
+int TrailingZeros(std::uint64_t word) {
+  if (word == 0) return 64;
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_ctzll(word);
+#else
+  int tz = 0;
+  while ((word & 1) == 0) {
+    word >>= 1;
+    ++tz;
+  }
+  return tz;
+#endif
+}
+
 // Geometric level: P(level = k) = 2^-(k+1), capped at 63.
 int Level(std::uint64_t word) {
-  const int tz = std::countr_zero(word);
-  return tz >= 64 ? 63 : std::min(tz, 63);
+  return std::min(TrailingZeros(word), 63);
 }
 
 constexpr double kFmPhi = 0.77351;  // Flajolet–Martin correction factor
@@ -49,7 +62,7 @@ double Synopsis::Estimate() const {
   double sum_levels = 0;
   for (const std::uint64_t bm : bitmaps_) {
     // First-zero position: lowest bit index not set.
-    sum_levels += std::countr_one(bm);
+    sum_levels += TrailingZeros(~bm);
   }
   const double mean = sum_levels / static_cast<double>(bitmaps_.size());
   return std::pow(2.0, mean) / kFmPhi;

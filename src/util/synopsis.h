@@ -37,7 +37,10 @@ class Synopsis {
   /// Wire size in bytes (num_bitmaps * 8).
   std::size_t byte_size() const { return bitmaps_.size() * 8; }
 
-  bool operator==(const Synopsis& other) const = default;
+  bool operator==(const Synopsis& other) const {
+    return bitmaps_ == other.bitmaps_;
+  }
+  bool operator!=(const Synopsis& other) const { return !(*this == other); }
 
  private:
   std::vector<std::uint64_t> bitmaps_;
