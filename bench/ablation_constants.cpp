@@ -13,6 +13,8 @@
 //                        first-packet routing relies on (fallback rate).
 #include "bench_common.h"
 
+#include "core/disco.h"
+
 #include <cstdio>
 
 #include "sim/metrics.h"

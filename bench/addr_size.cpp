@@ -8,6 +8,8 @@
 // addresses are stored per node.
 #include "bench_common.h"
 
+#include "core/disco.h"
+
 #include <cstdio>
 
 #include "routing/address.h"
@@ -39,7 +41,7 @@ int Main(int argc, char** argv) {
   }
   PrintSummary("route bytes", bytes);
   PrintSummary("route hops", hops);
-  PrintCdf("route bytes CDF", bytes, "addr_size_bytes");
+  PrintCdf("route bytes CDF", bytes, args.OutPath("addr_size_bytes"));
   std::printf("\nIPv4 address = 4 B, IPv6 address = 16 B\n");
   std::printf("paper: mean 2.93 B, p95 5 B, max 10.625 B\n");
 

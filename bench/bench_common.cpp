@@ -4,17 +4,51 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <sstream>
 
-#include "baselines/s4.h"
-#include "baselines/spf.h"
-#include "baselines/vrr.h"
 #include "graph/generators.h"
+#include "runtime/thread_pool.h"
 #include "sim/metrics.h"
 
 namespace disco::bench {
+namespace {
 
-Args Args::Parse(int argc, char** argv) {
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += ",";
+    out += n;
+  }
+  return out;
+}
+
+[[noreturn]] void PrintUsageAndExit(const char* prog, const char* extra_usage,
+                                    int code) {
+  std::FILE* to = code == 0 ? stdout : stderr;
+  std::fprintf(
+      to,
+      "usage: %s [flags]\n"
+      "  --n=<int>        override the default topology size\n"
+      "  --seed=<int>     experiment seed (default 1)\n"
+      "  --samples=<int>  sampled pairs/nodes\n"
+      "  --gbits=<int>    sloppy-group bits offset\n"
+      "  --schemes=<a,b>  comma-separated schemes (registered: %s)\n"
+      "  --out=<dir>      directory for TSV output (default: cwd)\n"
+      "  --threads=<int>  thread-pool width (default: DISCO_THREADS env,\n"
+      "                   else hardware concurrency)\n"
+      "  --full           run at the paper's full scale\n"
+      "  --quick          shrink everything (CI smoke scale)\n"
+      "  --help           this message\n%s",
+      prog, JoinNames(api::RegisteredSchemes()).c_str(),
+      extra_usage != nullptr ? extra_usage : "");
+  std::exit(code);
+}
+
+}  // namespace
+
+Args Args::Parse(int argc, char** argv, const char* extra_usage,
+                 const ExtraFlag& extra) {
   Args a;
   if (std::getenv("REPRO_FULL") != nullptr) a.full = true;
   for (int i = 1; i < argc; ++i) {
@@ -31,20 +65,62 @@ Args Args::Parse(int argc, char** argv) {
       a.samples = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value_of("--gbits=")) {
       a.gbits = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = value_of("--threads=")) {
+      char* end = nullptr;
+      const long t = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || t <= 0) {
+        std::fprintf(stderr, "--threads needs a positive integer, got "
+                             "\"%s\"\n", v);
+        PrintUsageAndExit(argv[0], extra_usage, 2);
+      }
+      a.threads = static_cast<int>(t);
+    } else if (const char* v = value_of("--out=")) {
+      a.out = v;
+    } else if (const char* v = value_of("--schemes=")) {
+      a.schemes = api::SplitSchemeList(v);
+      if (a.schemes.empty()) {
+        std::fprintf(stderr, "--schemes needs at least one name\n");
+        PrintUsageAndExit(argv[0], extra_usage, 2);
+      }
+      for (const std::string& s : a.schemes) {
+        if (!api::IsRegisteredScheme(s)) {
+          std::fprintf(stderr, "unknown scheme \"%s\" (registered: %s)\n",
+                       s.c_str(),
+                       JoinNames(api::RegisteredSchemes()).c_str());
+          std::exit(2);
+        }
+      }
     } else if (arg == "--full") {
       a.full = true;
     } else if (arg == "--quick") {
       a.quick = true;
     } else if (arg == "--help") {
-      std::printf("flags: --n=<int> --seed=<int> --samples=<int> "
-                  "--gbits=<int> --full --quick\n");
-      std::exit(0);
+      PrintUsageAndExit(argv[0], extra_usage, 0);
+    } else if (extra != nullptr && extra(arg)) {
+      // consumed by the bench-specific handler
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      PrintUsageAndExit(argv[0], extra_usage, 2);
+    }
+  }
+  if (!a.out.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(a.out, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create --out directory %s: %s\n",
+                   a.out.c_str(), ec.message().c_str());
       std::exit(2);
     }
   }
+  if (a.threads > 0) {
+    runtime::ThreadPool::ResetShared(static_cast<std::size_t>(a.threads));
+  }
   return a;
+}
+
+std::string Args::OutPath(const std::string& name) const {
+  if (out.empty()) return name;
+  return out + "/" + name;
 }
 
 void Banner(const std::string& figure, const std::string& expectation) {
@@ -116,65 +192,43 @@ Graph MakeGnm(const Args& args, NodeId def_n) {
   return ConnectedGnm(n, 4ull * n, args.seed);
 }
 
-StateSeries CollectState(const Graph& g, const Params& p) {
-  Disco disco(g, p);
-  S4 s4(g, p);
-  s4.ClusterSizes();  // one parallel pass over all nodes
-  s4.PrewarmLandmarkTrees();
-
-  StateSeries out;
-  out.disco.resize(g.num_nodes());
-  out.nddisco.resize(g.num_nodes());
-  out.s4.resize(g.num_nodes());
-  // Per-node state reads converged tables only; disjoint slots keep the
-  // series thread-count-invariant.
-  runtime::ParallelFor(0, g.num_nodes(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t vi = lo; vi < hi; ++vi) {
-      const NodeId v = static_cast<NodeId>(vi);
-      out.disco[vi] = static_cast<double>(disco.State(v).total());
-      out.nddisco[vi] = static_cast<double>(
-          disco.nd().State(v, &disco.resolution()).total());
-      out.s4[vi] = static_cast<double>(s4.State(v).total());
-    }
-  });
-  return out;
+std::vector<std::unique_ptr<api::RoutingScheme>> MakeSchemesOrDie(
+    const std::vector<std::string>& names, const Graph& g, const Params& p) {
+  auto schemes = api::MakeSchemes(names, g, p);
+  if (schemes.empty()) {
+    std::fprintf(stderr, "unknown scheme in {%s} (registered: %s)\n",
+                 JoinNames(names).c_str(),
+                 JoinNames(api::RegisteredSchemes()).c_str());
+    std::exit(2);
+  }
+  return schemes;
 }
 
 void RunThousandNodeComparison(const std::string& tag, const Graph& g,
                                const Args& args) {
   std::printf("\ntopology: n=%u, m=%zu\n", g.num_nodes(), g.num_edges());
   const Params p = args.MakeParams();
-  Disco disco(g, p);
-  S4 s4(g, p);
-  const Vrr vrr(g, p);
-  ShortestPathRouting spf(g, g.num_nodes());
+  const auto schemes =
+      MakeSchemesOrDie(args.SchemesOr({"disco", "nddisco", "s4", "vrr",
+                                       "spf"}),
+                       g, p);
 
   // This sweep routes from every node and toward most landmarks, so the
   // whole converged working set will be needed; bulk-compute it over the
   // pool up front rather than faulting it in one route at a time.
-  disco.nd().PrewarmLandmarkTrees();
-  s4.PrewarmLandmarkTrees();
-  {
-    std::vector<NodeId> all(g.num_nodes());
-    for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
-    disco.nd().PrewarmVicinities(all);
-  }
+  for (const auto& scheme : schemes) scheme->PrewarmFor(scheme->AllNodes());
 
   // --- State (left panels) ---
   std::printf("\n[state: entries per node, CDF over nodes]\n");
-  const StateSeries st = CollectState(g, p);
-  std::vector<double> vrr_state;
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    vrr_state.push_back(static_cast<double>(vrr.State(v).total()));
+  std::vector<std::vector<double>> state;
+  for (const auto& scheme : schemes) state.push_back(scheme->CollectState());
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    PrintCdf(schemes[i]->label(), state[i],
+             args.OutPath(tag + "_state_" + schemes[i]->name()));
   }
-  PrintCdf("Disco", st.disco, tag + "_state_disco");
-  PrintCdf("ND-Disco", st.nddisco, tag + "_state_nddisco");
-  PrintCdf("S4", st.s4, tag + "_state_s4");
-  PrintCdf("VRR", vrr_state, tag + "_state_vrr");
-  PrintSummary("Disco", st.disco);
-  PrintSummary("ND-Disco", st.nddisco);
-  PrintSummary("S4", st.s4);
-  PrintSummary("VRR", vrr_state);
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    PrintSummary(schemes[i]->label(), state[i]);
+  }
 
   // --- Stretch (middle panels) ---
   std::printf("\n[stretch: CDF over src-dest pairs]\n");
@@ -182,35 +236,31 @@ void RunThousandNodeComparison(const std::string& tag, const Graph& g,
   opt.num_pairs = args.SamplesOr(args.quick ? 300 : 2000);
   opt.seed = args.seed;
   const auto run_stretch = [&](const std::string& label, const RouteFn& fn) {
-    PrintCdf(label, SampleStretch(g, fn, opt), tag + "_stretch_" + label);
+    PrintCdf(label, SampleStretch(g, fn, opt),
+             args.OutPath(tag + "_stretch_" + label));
   };
-  run_stretch("Disco-First",
-              [&](NodeId s, NodeId t) { return disco.RouteFirst(s, t); });
-  run_stretch("Disco-Later",
-              [&](NodeId s, NodeId t) { return disco.RouteLater(s, t); });
-  run_stretch("S4-First",
-              [&](NodeId s, NodeId t) { return s4.RouteFirst(s, t); });
-  run_stretch("S4-Later",
-              [&](NodeId s, NodeId t) { return s4.RouteLater(s, t); });
-  run_stretch("VRR",
-              [&](NodeId s, NodeId t) { return vrr.RoutePacket(s, t); });
+  for (const auto& scheme : schemes) {
+    if (scheme->distinguishes_first_packet()) {
+      run_stretch(scheme->label() + "-First",
+                  scheme->route_fn(api::Phase::kFirst));
+      run_stretch(scheme->label() + "-Later",
+                  scheme->route_fn(api::Phase::kLater));
+    } else {
+      run_stretch(scheme->label(), scheme->route_fn(api::Phase::kLater));
+    }
+  }
 
   // --- Congestion (right panels) ---
   std::printf("\n[congestion: routes crossing each edge, CDF over edges; "
               "one random destination per node]\n");
-  const auto congestion = [&](const std::string& label, const RouteFn& fn) {
-    const auto counts = CongestionCounts(g, fn, args.seed);
+  for (const auto& scheme : schemes) {
+    const auto counts =
+        CongestionCounts(g, scheme->route_fn(api::Phase::kLater), args.seed);
     std::vector<double> vals(counts.begin(), counts.end());
-    PrintCdf(label, vals, tag + "_congestion_" + label);
-    PrintSummary("  " + label, vals);
-  };
-  congestion("Disco",
-             [&](NodeId s, NodeId t) { return disco.RouteLater(s, t); });
-  congestion("Path-vector",
-             [&](NodeId s, NodeId t) { return spf.RoutePacket(s, t); });
-  congestion("S4", [&](NodeId s, NodeId t) { return s4.RouteLater(s, t); });
-  congestion("VRR",
-             [&](NodeId s, NodeId t) { return vrr.RoutePacket(s, t); });
+    PrintCdf(scheme->label(), vals,
+             args.OutPath(tag + "_congestion_" + scheme->label()));
+    PrintSummary("  " + scheme->label(), vals);
+  }
 }
 
 }  // namespace disco::bench

@@ -4,10 +4,17 @@
 // on Flat Names" (CoNEXT 2010): it prints the paper's series as aligned
 // text tables, writes the full data as TSV files next to the working
 // directory, and states the paper's qualitative expectation so the output
-// is self-interpreting. Common flags:
+// is self-interpreting. Protocols are selected by name through the
+// RoutingScheme registry (src/api/), so every bench accepts the same
+// --schemes=disco,s4,... flag. Common flags (unknown flags fail with a
+// usage message):
 //   --n=<int>        override the default topology size
 //   --seed=<int>     change the experiment seed (default 1)
 //   --samples=<int>  override the number of sampled pairs/nodes
+//   --schemes=<a,b>  comma-separated scheme names (see api/registry.h)
+//   --out=<dir>      directory for TSV output (default: working directory)
+//   --threads=<k>    thread-pool width (default: DISCO_THREADS env, else
+//                    hardware concurrency)
 //   --full           run at the paper's full scale (larger and slower)
 //   --quick          shrink everything (used by CI smoke runs)
 #pragma once
@@ -17,7 +24,8 @@
 #include <string>
 #include <vector>
 
-#include "core/disco.h"
+#include "api/registry.h"
+#include "api/routing_scheme.h"
 #include "graph/graph.h"
 #include "runtime/parallel_for.h"
 #include "util/stats.h"
@@ -33,8 +41,24 @@ struct Args {
   /// Sloppy-group "+O(1)" bits (Params::group_bits_offset); the paper's
   /// tuned constant behaves like +2 (smaller groups, less Disco state).
   int gbits = 0;
+  /// Explicit thread-pool width; 0 falls back to DISCO_THREADS / hardware.
+  int threads = 0;
+  /// Directory TSV output goes to (created if missing); "" = cwd.
+  std::string out;
+  /// Scheme names from --schemes=, validated against the registry; empty
+  /// means the per-bench default set.
+  std::vector<std::string> schemes;
 
-  static Args Parse(int argc, char** argv);
+  /// Hook for bench-specific flags: returns true if it consumed `arg`.
+  using ExtraFlag = std::function<bool(const std::string& arg)>;
+
+  /// Parses the common flags. Unrecognized flags (and unregistered scheme
+  /// names) terminate with a usage message listing every valid flag;
+  /// `extra` is offered flags the common set rejects, and `extra_usage`
+  /// (one "  --flag=...  description" line per entry) is appended to the
+  /// usage text.
+  static Args Parse(int argc, char** argv, const char* extra_usage = nullptr,
+                    const ExtraFlag& extra = nullptr);
 
   Params MakeParams() const {
     Params p;
@@ -47,6 +71,12 @@ struct Args {
   std::size_t SamplesOr(std::size_t def) const {
     return samples != 0 ? samples : def;
   }
+  std::vector<std::string> SchemesOr(std::vector<std::string> def) const {
+    return schemes.empty() ? std::move(def) : schemes;
+  }
+
+  /// Prefixes `name` with the --out directory (if any).
+  std::string OutPath(const std::string& name) const;
 };
 
 /// Prints a banner naming the figure and the paper's expectation.
@@ -93,17 +123,15 @@ std::vector<R> RunTrials(std::size_t count,
   return results;
 }
 
-/// Per-node Disco/NDDisco/S4 state totals for all nodes (Fig. 2/4/5/7).
-struct StateSeries {
-  std::vector<double> disco;
-  std::vector<double> nddisco;
-  std::vector<double> s4;
-};
-StateSeries CollectState(const Graph& g, const Params& params);
+/// Builds the named schemes for this run (shared substructure where
+/// possible) — exits with the registry listing if a name is unknown.
+std::vector<std::unique_ptr<api::RoutingScheme>> MakeSchemesOrDie(
+    const std::vector<std::string>& names, const Graph& g, const Params& p);
 
-/// The full Fig. 4 / Fig. 5 protocol comparison on a ~1,024-node topology:
-/// state CDFs (Disco, NDDisco, S4, VRR), stretch CDFs (Disco/S4 first &
-/// later, VRR), and congestion CDFs (Disco, S4, VRR, path vector).
+/// The full Fig. 4 / Fig. 5 comparison on a ~1,024-node topology for every
+/// selected scheme (default: the five built-ins): state CDFs over nodes,
+/// stretch CDFs over sampled pairs (first/later rows where the scheme
+/// distinguishes them), and congestion CDFs over edges.
 /// `tag` prefixes the TSV output files.
 void RunThousandNodeComparison(const std::string& tag, const Graph& g,
                                const Args& args);

@@ -1,0 +1,269 @@
+// disco_sweep — sharded multi-graph experiment sweeps over the scheme
+// registry (the ROADMAP driver). Expands a (topology × n × seed × scheme)
+// grid, runs this process's shard of it over the thread pool, and writes
+// one TSV per shard; a final --merge pass combines the shards into a
+// single deterministic table.
+//
+// Single process:
+//   $ disco_sweep --out=results            # whole grid -> results/sweep.tsv
+//
+// Four processes (or machines sharing a filesystem), then merge:
+//   $ disco_sweep --shard=0/4 --out=results   # ... one per shard index ...
+//   $ disco_sweep --shard=3/4 --out=results
+//   $ disco_sweep --merge --out=results       # -> results/sweep.tsv
+//
+// The merged table is byte-identical however the grid was sharded: cells
+// are self-contained (each builds its own graph and converged scheme from
+// topology, n, and seed) and indexed by a pure function of the grid spec.
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "api/sweep.h"
+
+namespace disco::bench {
+namespace {
+
+constexpr const char* kExtraUsage =
+    "  --topos=<a,b>    topology families (default gnm,geo; known: "
+    "gnm,geo,as,router)\n"
+    "  --sizes=<a,b>    node counts (default 512,1024)\n"
+    "  --seeds=<a,b>    one trial per seed (default 1,2)\n"
+    "  --shard=<i/m>    run cells with index%m==i (default 0/1)\n"
+    "  --merge          merge existing shard TSVs in --out into sweep.tsv\n";
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  return api::SplitSchemeList(csv);  // same "a,b,c" syntax
+}
+
+// Strictly parses a csv of positive integers ("512,1o24" must not become
+// a silent 1-node sweep). Empty input, zeros, and values above `max` are
+// rejected too.
+bool ParsePositiveCsv(const std::string& csv,
+                      std::vector<std::uint64_t>* out,
+                      std::uint64_t max = UINT64_MAX) {
+  const auto pieces = SplitCsv(csv);
+  if (pieces.empty()) return false;
+  for (const std::string& s : pieces) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end != s.c_str() + s.size() || v == 0 || v > max) return false;
+    out->push_back(v);
+  }
+  return true;
+}
+
+bool ReadWholeFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// Collects the shard files of one complete sweep from `dir`: exactly one
+// shard count m may be present, with all m files. Returns false (with a
+// message) otherwise.
+bool CollectShardFiles(const std::string& dir,
+                       std::vector<std::string>* contents,
+                       std::string* error) {
+  std::size_t num_shards = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string file = entry.path().filename().string();
+    std::size_t i = 0, m = 0;
+    if (std::sscanf(file.c_str(), "sweep_shard_%zu_of_%zu.tsv", &i, &m) !=
+        2) {
+      continue;
+    }
+    // sscanf matches prefixes (and ignores a failed trailing ".tsv"), so
+    // require the exact canonical name — editor backups and .partial
+    // files must not count as shard markers.
+    if (file != api::ShardFileName(i, m)) continue;
+    if (num_shards != 0 && m != num_shards) {
+      *error = "shard files from different sweeps (m=" +
+               std::to_string(num_shards) + " and m=" + std::to_string(m) +
+               ") in " + dir;
+      return false;
+    }
+    num_shards = m;
+  }
+  if (num_shards == 0) {
+    *error = "no sweep_shard_*_of_*.tsv files in " + dir;
+    return false;
+  }
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    const std::string path = dir + "/" + api::ShardFileName(i, num_shards);
+    std::string content;
+    if (!ReadWholeFile(path, &content)) {
+      *error = "missing shard file " + path;
+      return false;
+    }
+    contents->push_back(std::move(content));
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  std::size_t shard = 0, num_shards = 1;
+  bool merge_only = false;
+  std::vector<std::string> topos;
+  std::vector<std::uint64_t> sizes_flag, seeds_flag;
+  const Args args = Args::Parse(
+      argc, argv, kExtraUsage, [&](const std::string& arg) {
+        // A recognized flag with a malformed value is its own error, not
+        // an "unknown flag".
+        const auto bad_value = [&]() -> bool {
+          std::fprintf(stderr, "invalid value in %s\n", arg.c_str());
+          std::exit(2);
+        };
+        if (arg.compare(0, 8, "--topos=") == 0) {
+          topos = SplitCsv(arg.substr(8));
+          return !topos.empty() || bad_value();
+        }
+        if (arg.compare(0, 8, "--sizes=") == 0) {
+          // Caps at NodeId range so the NodeId cast below cannot truncate.
+          return ParsePositiveCsv(arg.substr(8), &sizes_flag,
+                                  std::numeric_limits<NodeId>::max()) ||
+                 bad_value();
+        }
+        if (arg.compare(0, 8, "--seeds=") == 0) {
+          return ParsePositiveCsv(arg.substr(8), &seeds_flag) ||
+                 bad_value();
+        }
+        if (arg.compare(0, 8, "--shard=") == 0) {
+          // Strict "i/m" with no trailing garbage (sscanf would accept
+          // "--shard=0/4x" and run the wrong partition without a word).
+          const char* v = arg.c_str() + 8;
+          char* end = nullptr;
+          const unsigned long long i = std::strtoull(v, &end, 10);
+          if (end == v || *end != '/') return bad_value();
+          const char* mstart = end + 1;
+          const unsigned long long m = std::strtoull(mstart, &end, 10);
+          if (end == mstart || *end != '\0' || m == 0) return bad_value();
+          shard = static_cast<std::size_t>(i);
+          num_shards = static_cast<std::size_t>(m);
+          return true;
+        }
+        if (arg == "--merge") {
+          merge_only = true;
+          return true;
+        }
+        return false;
+      });
+  const std::string out_dir = args.out.empty() ? "." : args.out;
+
+  if (merge_only) {
+    std::vector<std::string> contents;
+    std::string error;
+    if (!CollectShardFiles(out_dir, &contents, &error)) {
+      std::fprintf(stderr, "merge: %s\n", error.c_str());
+      return 1;
+    }
+    const std::string merged = api::MergeShardContents(contents, &error);
+    if (merged.empty()) {
+      std::fprintf(stderr, "merge: %s\n", error.c_str());
+      return 1;
+    }
+    const std::string path = out_dir + "/sweep.tsv";
+    if (!WriteFile(path, merged)) {
+      std::fprintf(stderr, "merge: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("merged %zu shard(s) into %s\n", contents.size(),
+                path.c_str());
+    return 0;
+  }
+
+  if (num_shards == 0 || shard >= num_shards) {
+    std::fprintf(stderr, "--shard=%zu/%zu is out of range\n", shard,
+                 num_shards);
+    return 2;
+  }
+
+  api::SweepSpec spec;
+  spec.topologies = topos.empty()
+                        ? (args.quick ? std::vector<std::string>{"gnm"}
+                                      : std::vector<std::string>{"gnm",
+                                                                 "geo"})
+                        : topos;
+  for (const std::string& t : spec.topologies) {
+    const auto& known = api::SweepTopologyFamilies();
+    if (std::find(known.begin(), known.end(), t) == known.end()) {
+      std::fprintf(stderr, "unknown topology family \"%s\"\n", t.c_str());
+      return 2;
+    }
+  }
+  if (!sizes_flag.empty()) {
+    for (const std::uint64_t s : sizes_flag) {
+      spec.sizes.push_back(static_cast<NodeId>(s));
+    }
+  } else if (args.n != 0) {
+    spec.sizes = {args.n};
+  } else {
+    spec.sizes = args.quick ? std::vector<NodeId>{256}
+                            : std::vector<NodeId>{512, 1024};
+  }
+  spec.seeds = seeds_flag.empty() ? std::vector<std::uint64_t>{1, 2}
+                                  : seeds_flag;
+  spec.schemes = args.SchemesOr(args.quick
+                                    ? std::vector<std::string>{"disco", "s4"}
+                                    : api::RegisteredSchemes());
+  spec.pairs = args.SamplesOr(args.quick ? 50 : 200);
+  spec.base = args.MakeParams();
+
+  const auto grid = api::ExpandGrid(spec);
+  const auto cells = api::ShardOf(grid, shard, num_shards);
+  std::printf("grid: %zu cells (%zu topologies x %zu sizes x %zu seeds x "
+              "%zu schemes); shard %zu/%zu runs %zu\n",
+              grid.size(), spec.topologies.size(), spec.sizes.size(),
+              spec.seeds.size(), spec.schemes.size(), shard, num_shards,
+              cells.size());
+
+  // Large cells already saturate the pool from the inside; overlapping
+  // whole cells is only a win when each one is small (fig09's policy).
+  NodeId max_n = 0;
+  for (const NodeId n : spec.sizes) max_n = std::max(max_n, n);
+  runtime::ThreadPool serial_trials(1);
+  const std::string rows = api::RunSweepCells(
+      cells, spec, max_n <= 4096 ? nullptr : &serial_trials);
+
+  const std::string shard_content =
+      api::SweepSignature(spec) + api::SweepHeader() + rows;
+  const std::string shard_path =
+      out_dir + "/" + api::ShardFileName(shard, num_shards);
+  if (!WriteFile(shard_path, shard_content)) {
+    std::fprintf(stderr, "cannot write %s\n", shard_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu cells)\n", shard_path.c_str(), cells.size());
+
+  if (num_shards == 1) {
+    // Unsharded runs are their own merge.
+    std::string error;
+    const std::string merged = api::MergeShardContents({shard_content},
+                                                       &error);
+    if (merged.empty()) {
+      std::fprintf(stderr, "self-merge failed: %s\n", error.c_str());
+      return 1;
+    }
+    const std::string path = out_dir + "/sweep.tsv";
+    if (!WriteFile(path, merged)) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace disco::bench
+
+int main(int argc, char** argv) { return disco::bench::Main(argc, argv); }

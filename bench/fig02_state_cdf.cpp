@@ -14,16 +14,21 @@
 namespace disco::bench {
 namespace {
 
-void RunTopology(const char* name, const Graph& g, const Params& params) {
+void RunTopology(const char* name, const Graph& g, const Args& args) {
   std::printf("\n--- %s: n=%u, m=%zu ---\n", name, g.num_nodes(),
               g.num_edges());
-  const StateSeries s = CollectState(g, params);
-  PrintCdf("Disco", s.disco, std::string("fig02_") + name + "_disco");
-  PrintCdf("ND-Disco", s.nddisco, std::string("fig02_") + name + "_nddisco");
-  PrintCdf("S4", s.s4, std::string("fig02_") + name + "_s4");
-  PrintSummary("Disco", s.disco);
-  PrintSummary("ND-Disco", s.nddisco);
-  PrintSummary("S4", s.s4);
+  const auto schemes = MakeSchemesOrDie(
+      args.SchemesOr({"disco", "nddisco", "s4"}), g, args.MakeParams());
+  std::vector<std::vector<double>> state;
+  for (const auto& scheme : schemes) state.push_back(scheme->CollectState());
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    PrintCdf(schemes[i]->label(), state[i],
+             args.OutPath(std::string("fig02_") + name + "_" +
+                          schemes[i]->name()));
+  }
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    PrintSummary(schemes[i]->label(), state[i]);
+  }
 }
 
 int Main(int argc, char** argv) {
@@ -31,9 +36,9 @@ int Main(int argc, char** argv) {
   Banner("Fig. 2 — state at a node (entries), CDF over nodes",
          "Disco/NDDisco near-vertical (balanced); S4 heavy-tailed on the "
          "Internet-like maps, matching on the geometric graph");
-  RunTopology("geometric", MakeGeometric(args, 16384), args.MakeParams());
-  RunTopology("aslevel", MakeAsLevel(args), args.MakeParams());
-  RunTopology("routerlevel", MakeRouterLevel(args), args.MakeParams());
+  RunTopology("geometric", MakeGeometric(args, 16384), args);
+  RunTopology("aslevel", MakeAsLevel(args), args);
+  RunTopology("routerlevel", MakeRouterLevel(args), args);
   return 0;
 }
 

@@ -11,7 +11,6 @@
 
 #include <cstdio>
 
-#include "baselines/s4.h"
 #include "sim/metrics.h"
 
 namespace disco::bench {
@@ -20,28 +19,30 @@ namespace {
 void RunTopology(const char* name, const Graph& g, const Args& args) {
   std::printf("\n--- %s: n=%u, m=%zu ---\n", name, g.num_nodes(),
               g.num_edges());
-  const Params p = args.MakeParams();
-  Disco disco(g, p);
-  S4 s4(g, p);
+  const auto schemes = MakeSchemesOrDie(args.SchemesOr({"disco", "s4"}), g,
+                                        args.MakeParams());
 
   StretchOptions opt;
   opt.num_pairs = args.SamplesOr(args.quick ? 200 : 1000);
   opt.seed = args.seed;
 
-  const auto run = [&](const char* label, const RouteFn& fn) {
+  const auto run = [&](const std::string& label, const RouteFn& fn) {
     std::vector<StretchSample> details;
     auto stretch = SampleStretch(g, fn, opt, &details);
     std::size_t failed = 0;
     for (const auto& d : details) failed += d.failed;
-    PrintCdf(label, stretch, std::string("fig03_") + name + "_" + label);
+    PrintCdf(label, stretch,
+             args.OutPath(std::string("fig03_") + name + "_" + label));
     if (failed > 0) std::printf("  (%zu routing failures)\n", failed);
   };
-  run("Disco-First",
-      [&](NodeId s, NodeId t) { return disco.RouteFirst(s, t); });
-  run("Disco-Later",
-      [&](NodeId s, NodeId t) { return disco.RouteLater(s, t); });
-  run("S4-First", [&](NodeId s, NodeId t) { return s4.RouteFirst(s, t); });
-  run("S4-Later", [&](NodeId s, NodeId t) { return s4.RouteLater(s, t); });
+  for (const auto& scheme : schemes) {
+    if (scheme->distinguishes_first_packet()) {
+      run(scheme->label() + "-First", scheme->route_fn(api::Phase::kFirst));
+      run(scheme->label() + "-Later", scheme->route_fn(api::Phase::kLater));
+    } else {
+      run(scheme->label(), scheme->route_fn(api::Phase::kLater));
+    }
+  }
 }
 
 int Main(int argc, char** argv) {

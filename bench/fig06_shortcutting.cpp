@@ -8,6 +8,8 @@
 // the geometric graph close to 1 throughout.
 #include "bench_common.h"
 
+#include "core/disco.h"
+
 #include <cstdio>
 
 #include "sim/metrics.h"

@@ -2,7 +2,8 @@
 // in entries AND bytes, for S4, NDDisco and Disco, under 4-byte (IPv4-like)
 // and 16-byte (IPv6-like) node names.
 //
-// Byte model (source routes use the compact §4.2 encoding):
+// The byte model (source routes use the compact §4.2 encoding) lives with
+// each scheme — RoutingScheme::StateBytes:
 //   landmark/vicinity/cluster route entry = name + 1B next-hop label
 //   forwarding-label map entry            = 1B
 //   resolution or group address record    = name (key) + name (landmark)
@@ -18,34 +19,8 @@
 
 #include <cstdio>
 
-#include "baselines/s4.h"
-#include "graph/shortest_path.h"
-
 namespace disco::bench {
 namespace {
-
-struct ByteSeries {
-  std::vector<double> entries;
-  std::vector<double> bytes_v4;
-  std::vector<double> bytes_v6;
-};
-
-// Explicit-route bytes of every node's address under `book`.
-std::vector<std::size_t> RouteBytes(const AddressBook& book, NodeId n) {
-  std::vector<std::size_t> out(n);
-  for (NodeId v = 0; v < n; ++v) out[v] = book.AddressOf(v).route_bytes();
-  return out;
-}
-
-double RecordBytes(const std::vector<NodeId>& stored,
-                   const std::vector<std::size_t>& route_bytes,
-                   double name_bytes) {
-  double total = 0;
-  for (const NodeId t : stored) {
-    total += 2 * name_bytes + static_cast<double>(route_bytes[t]);
-  }
-  return total;
-}
 
 int Main(int argc, char** argv) {
   const Args args = Args::Parse(argc, argv);
@@ -55,85 +30,36 @@ int Main(int argc, char** argv) {
   const Graph g = MakeRouterLevel(args);
   std::printf("topology: n=%u, m=%zu\n", g.num_nodes(), g.num_edges());
 
-  const Params p = args.MakeParams();
-  Disco disco(g, p);
-  S4 s4(g, p);
-  s4.ClusterSizes();
-  const auto disco_bytes = RouteBytes(disco.nd().addresses(), g.num_nodes());
-  const auto s4_bytes = RouteBytes(s4.addresses(), g.num_nodes());
-
-  ByteSeries series_s4, series_nd, series_disco;
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    for (const double nb : {4.0, 16.0}) {
-      // --- S4 ---
-      {
-        const StateBreakdown b = s4.State(v);
-        double bytes =
-            (nb + 1) * static_cast<double>(b.landmark_entries +
-                                           b.cluster_entries) +
-            static_cast<double>(b.label_entries) +
-            RecordBytes(s4.resolution().OwnedNodes(v), s4_bytes, nb);
-        if (nb == 4.0) {
-          series_s4.entries.push_back(static_cast<double>(b.total()));
-          series_s4.bytes_v4.push_back(bytes);
-        } else {
-          series_s4.bytes_v6.push_back(bytes);
-        }
-      }
-      // --- NDDisco ---
-      {
-        const StateBreakdown b = disco.nd().State(v, &disco.resolution());
-        double bytes =
-            (nb + 1) * static_cast<double>(b.landmark_entries +
-                                           b.vicinity_entries) +
-            static_cast<double>(b.label_entries) +
-            RecordBytes(disco.resolution().OwnedNodes(v), disco_bytes, nb);
-        if (nb == 4.0) {
-          series_nd.entries.push_back(static_cast<double>(b.total()));
-          series_nd.bytes_v4.push_back(bytes);
-        } else {
-          series_nd.bytes_v6.push_back(bytes);
-        }
-      }
-      // --- Disco ---
-      {
-        const StateBreakdown b = disco.State(v);
-        double bytes =
-            (nb + 1) * static_cast<double>(b.landmark_entries +
-                                           b.vicinity_entries) +
-            static_cast<double>(b.label_entries) +
-            RecordBytes(disco.resolution().OwnedNodes(v), disco_bytes, nb) +
-            RecordBytes(disco.groups().StoredAddresses(v), disco_bytes,
-                        nb) +
-            nb * static_cast<double>(b.overlay_entries);
-        if (nb == 4.0) {
-          series_disco.entries.push_back(static_cast<double>(b.total()));
-          series_disco.bytes_v4.push_back(bytes);
-        } else {
-          series_disco.bytes_v6.push_back(bytes);
-        }
-      }
-    }
-  }
+  const auto schemes = MakeSchemesOrDie(
+      args.SchemesOr({"s4", "nddisco", "disco"}), g, args.MakeParams());
 
   auto mean_max = [](const std::vector<double>& v) {
     const Summary s = Summarize(v);
     return std::pair<double, double>{s.mean, s.max};
   };
-  auto row = [&](const char* name, const ByteSeries& s) {
-    const auto [em, ex] = mean_max(s.entries);
-    const auto [b4m, b4x] = mean_max(s.bytes_v4);
-    const auto [b6m, b6x] = mean_max(s.bytes_v6);
-    return std::pair<std::string, std::vector<double>>{
-        name,
-        {em, ex, b4m / 1024.0, b4x / 1024.0, b6m / 1024.0, b6x / 1024.0}};
-  };
+  std::vector<std::pair<std::string, std::vector<double>>> rows;
+  for (const auto& scheme : schemes) {
+    // One parallel pass fills the entries series (and any shared lazily
+    // computed structures, e.g. S4 cluster sizes); the byte model then
+    // reads the converged tables per node.
+    const std::vector<double> entries = scheme->CollectState();
+    std::vector<double> bytes_v4(g.num_nodes()), bytes_v6(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      bytes_v4[v] = scheme->StateBytes(v, 4.0);
+      bytes_v6[v] = scheme->StateBytes(v, 16.0);
+    }
+    const auto [em, ex] = mean_max(entries);
+    const auto [b4m, b4x] = mean_max(bytes_v4);
+    const auto [b6m, b6x] = mean_max(bytes_v6);
+    rows.push_back({scheme->label(),
+                    {em, ex, b4m / 1024.0, b4x / 1024.0, b6m / 1024.0,
+                     b6x / 1024.0}});
+  }
   PrintTable(
       "per-node state (KB = kilobytes of routing state)",
       {"entries mean", "entries max", "KB(v4) mean", "KB(v4) max",
        "KB(v6) mean", "KB(v6) max"},
-      {row("S4", series_s4), row("ND-Disco", series_nd),
-       row("Disco", series_disco)});
+      rows);
   std::printf("\npaper (192,244-node map): entries mean/max — S4 3123.9/"
               "40339, ND-Disco 3619.9/4310, Disco 6592.4/7309\n");
   return 0;

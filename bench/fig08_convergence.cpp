@@ -11,12 +11,18 @@
 
 #include <cstdio>
 
+#include "api/schemes.h"
 #include "graph/generators.h"
 #include "sim/disco_msg.h"
 #include "sim/pv_sim.h"
 
 namespace disco::bench {
 namespace {
+
+// Convergence messaging per DES protocol mode, in figure order (the
+// printed/TSV headers below follow this order).
+const PvMode kDesSeries[] = {PvMode::kPathVector, PvMode::kS4,
+                             PvMode::kNdDisco};
 
 int Main(int argc, char** argv) {
   const Args args = Args::Parse(argc, argv);
@@ -34,21 +40,14 @@ int Main(int argc, char** argv) {
   for (const NodeId n : sizes) {
     const Graph g = ConnectedGnm(n, 4ull * n, args.seed);
 
-    PvConfig pv;
-    pv.mode = PvMode::kPathVector;
-    pv.params.seed = args.seed;
-    const double pv_msgs =
-        SimulatePathVector(g, pv).messages_per_node;
-
-    PvConfig s4;
-    s4.mode = PvMode::kS4;
-    s4.params.seed = args.seed;
-    const double s4_msgs = SimulatePathVector(g, s4).messages_per_node;
-
-    PvConfig nd;
-    nd.mode = PvMode::kNdDisco;
-    nd.params.seed = args.seed;
-    const double nd_msgs = SimulatePathVector(g, nd).messages_per_node;
+    double des_msgs[3] = {0, 0, 0};
+    for (int i = 0; i < 3; ++i) {
+      PvConfig cfg;
+      cfg.mode = kDesSeries[i];
+      cfg.params.seed = args.seed;
+      des_msgs[i] = SimulatePathVector(g, cfg).messages_per_node;
+    }
+    const double nd_msgs = des_msgs[2];
 
     // Disco = NDDisco convergence + overlay joining/dissemination, costed
     // in underlay link messages.
@@ -57,22 +56,22 @@ int Main(int argc, char** argv) {
     for (int i = 0; i < 2; ++i) {
       Params p = args.MakeParams();
       p.fingers = finger_counts[i];
-      Disco disco(g, p);
-      const auto overlay = MeasureOverlayMessaging(g, disco);
+      api::DiscoScheme scheme(g, p);
+      const auto overlay = MeasureOverlayMessaging(g, scheme.impl());
       disco_msgs[i] = nd_msgs + static_cast<double>(overlay.total()) /
                                     static_cast<double>(g.num_nodes());
     }
 
     std::printf("%-8u %-14.1f %-14.1f %-14.1f %-16.1f %-16.1f\n",
-                g.num_nodes(), pv_msgs, s4_msgs, nd_msgs, disco_msgs[0],
-                disco_msgs[1]);
+                g.num_nodes(), des_msgs[0], des_msgs[1], nd_msgs,
+                disco_msgs[0], disco_msgs[1]);
     char line[256];
     std::snprintf(line, sizeof line, "%u\t%f\t%f\t%f\t%f\t%f\n",
-                  g.num_nodes(), pv_msgs, s4_msgs, nd_msgs, disco_msgs[0],
-                  disco_msgs[1]);
+                  g.num_nodes(), des_msgs[0], des_msgs[1], nd_msgs,
+                  disco_msgs[0], disco_msgs[1]);
     tsv += line;
   }
-  WriteFile("fig08_convergence.tsv", tsv);
+  WriteFile(args.OutPath("fig08_convergence.tsv"), tsv);
   return 0;
 }
 

@@ -1,20 +1,29 @@
 // Fig. 9: scaling with network size on geometric random graphs — mean path
-// stretch (left) and mean per-node state (right) for Disco, NDDisco and S4,
-// n = 2k .. 16k.
+// stretch (left) and mean per-node state (right), n = 2k .. 16k. By
+// default the paper's series: Disco and S4 stretch, Disco/NDDisco/S4
+// state; --schemes=<a,b> swaps in any registered set (stretch AND state).
 //
 // Paper result: S4's first-packet stretch stays high (~2.5+) at every size
 // while Disco's first/later and S4's later stretch hug 1; routing state for
 // all three grows as ~sqrt(n log n), ordered S4 < NDDisco < Disco.
 #include "bench_common.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 
-#include "baselines/s4.h"
 #include "graph/generators.h"
 #include "sim/metrics.h"
 
 namespace disco::bench {
 namespace {
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
 
 int Main(int argc, char** argv) {
   const Args args = Args::Parse(argc, argv);
@@ -27,9 +36,45 @@ int Main(int argc, char** argv) {
   if (args.n != 0) sizes = {args.n};
   const std::size_t pairs = args.SamplesOr(args.quick ? 150 : 500);
 
-  std::printf("%-8s %-12s %-12s %-12s %-12s %-12s %-12s %-12s\n", "n",
-              "DiscoFirst", "DiscoLater", "S4First", "S4Later",
-              "state:Disco", "state:ND", "state:S4");
+  // The paper's default plots stretch for Disco/S4 but state for
+  // Disco/NDDisco/S4; an explicit --schemes list drives both.
+  const std::vector<std::string> stretch_names =
+      args.SchemesOr({"disco", "s4"});
+  const std::vector<std::string> state_names =
+      args.SchemesOr({"disco", "nddisco", "s4"});
+  std::vector<std::string> build_names = stretch_names;
+  for (const std::string& name : state_names) {
+    if (std::find(build_names.begin(), build_names.end(), name) ==
+        build_names.end()) {
+      build_names.push_back(name);
+    }
+  }
+
+  // Column headers come from registry metadata so they are printable
+  // before any scheme is built.
+  std::vector<std::string> columns, tsv_keys;
+  for (const std::string& name : stretch_names) {
+    const api::SchemeInfo* info = api::GetSchemeInfo(name);
+    if (info->distinguishes_first_packet) {
+      columns.push_back(info->short_name + "First");
+      columns.push_back(info->short_name + "Later");
+      tsv_keys.push_back(Lower(info->short_name) + "_first");
+      tsv_keys.push_back(Lower(info->short_name) + "_later");
+    } else {
+      columns.push_back(info->short_name);
+      tsv_keys.push_back(Lower(info->short_name));
+    }
+  }
+  const std::size_t stretch_cols = columns.size();
+  for (const std::string& name : state_names) {
+    const api::SchemeInfo* info = api::GetSchemeInfo(name);
+    columns.push_back("state:" + info->short_name);
+    tsv_keys.push_back("state_" + Lower(info->short_name));
+  }
+
+  std::printf("%-8s", "n");
+  for (const std::string& c : columns) std::printf(" %-12s", c.c_str());
+  std::printf("\n");
 
   // Each size is one independent trial dispatched over the thread pool
   // (and each trial's own construction/sampling fan-outs nest inside it);
@@ -40,8 +85,7 @@ int Main(int argc, char** argv) {
   // cores — while small (--quick) sweeps overlap whole trials too.
   struct Row {
     NodeId n = 0;
-    double df = 0, dl = 0, sf = 0, sl = 0;
-    double state_disco = 0, state_nd = 0, state_s4 = 0;
+    std::vector<double> values;  // stretch means, then state means
   };
   runtime::ThreadPool serial_trials(1);
   const bool overlap_trials = sizes.back() <= 4096;
@@ -50,55 +94,66 @@ int Main(int argc, char** argv) {
       [&](std::size_t trial) {
         const Graph g = ConnectedGeometric(sizes[trial], 8.0, args.seed);
         const Params p = args.MakeParams();
-        Disco disco(g, p);
-        S4 s4(g, p);
-        // The stretch samples below touch most landmark trees; fan the
-        // Dijkstras out now instead of faulting them in per route.
-        disco.nd().PrewarmLandmarkTrees();
-        s4.PrewarmLandmarkTrees();
+        auto schemes = MakeSchemesOrDie(build_names, g, p);
+        // MakeSchemes preserves order, so look up by requested key rather
+        // than instance name() (a custom-registered variant may be backed
+        // by a built-in adapter).
+        const auto scheme_of =
+            [&](const std::string& name) -> api::RoutingScheme* {
+          for (std::size_t i = 0; i < build_names.size(); ++i) {
+            if (build_names[i] == name) return schemes[i].get();
+          }
+          return nullptr;
+        };
+        // The stretch samples and state pass below touch most landmark
+        // trees and every vicinity; fan the Dijkstras out now instead of
+        // faulting them in per route.
+        for (const auto& s : schemes) s->PrewarmFor(s->AllNodes());
 
         StretchOptions opt;
         opt.num_pairs = pairs;
         opt.seed = args.seed;
         Row row;
         row.n = g.num_nodes();
-        row.df = Summarize(SampleStretch(
-            g, [&](NodeId s, NodeId t) { return disco.RouteFirst(s, t); },
-            opt)).mean;
-        row.dl = Summarize(SampleStretch(
-            g, [&](NodeId s, NodeId t) { return disco.RouteLater(s, t); },
-            opt)).mean;
-        row.sf = Summarize(SampleStretch(
-            g, [&](NodeId s, NodeId t) { return s4.RouteFirst(s, t); },
-            opt)).mean;
-        row.sl = Summarize(SampleStretch(
-            g, [&](NodeId s, NodeId t) { return s4.RouteLater(s, t); },
-            opt)).mean;
-
-        const StateSeries st = CollectState(g, p);
-        row.state_disco = Summarize(st.disco).mean;
-        row.state_nd = Summarize(st.nddisco).mean;
-        row.state_s4 = Summarize(st.s4).mean;
+        for (const std::string& name : stretch_names) {
+          api::RoutingScheme* s = scheme_of(name);
+          // Registry metadata decided the headers above; it must also
+          // decide the per-row column count, or they could disagree.
+          if (api::GetSchemeInfo(name)->distinguishes_first_packet) {
+            row.values.push_back(Summarize(SampleStretch(
+                g, s->route_fn(api::Phase::kFirst), opt)).mean);
+          }
+          row.values.push_back(Summarize(SampleStretch(
+              g, s->route_fn(api::Phase::kLater), opt)).mean);
+        }
+        for (const std::string& name : state_names) {
+          row.values.push_back(Summarize(scheme_of(name)->CollectState())
+                                   .mean);
+        }
         return row;
       },
       overlap_trials ? nullptr : &serial_trials);
 
-  std::string tsv =
-      "n\tdisco_first\tdisco_later\ts4_first\ts4_later\tstate_disco\t"
-      "state_nd\tstate_s4\n";
+  std::string tsv = "n";
+  for (const std::string& key : tsv_keys) tsv += "\t" + key;
+  tsv += "\n";
   for (const Row& row : rows) {
-    std::printf("%-8u %-12.3f %-12.3f %-12.3f %-12.3f %-12.1f %-12.1f "
-                "%-12.1f\n",
-                row.n, row.df, row.dl, row.sf, row.sl, row.state_disco,
-                row.state_nd, row.state_s4);
-    char line[256];
-    std::snprintf(line, sizeof line,
-                  "%u\t%f\t%f\t%f\t%f\t%f\t%f\t%f\n", row.n, row.df,
-                  row.dl, row.sf, row.sl, row.state_disco, row.state_nd,
-                  row.state_s4);
-    tsv += line;
+    std::printf("%-8u", row.n);
+    for (std::size_t c = 0; c < row.values.size(); ++c) {
+      std::printf(c < stretch_cols ? " %-12.3f" : " %-12.1f",
+                  row.values[c]);
+    }
+    std::printf("\n");
+    char cell[64];
+    std::snprintf(cell, sizeof cell, "%u", row.n);
+    tsv += cell;
+    for (const double v : row.values) {
+      std::snprintf(cell, sizeof cell, "\t%f", v);
+      tsv += cell;
+    }
+    tsv += "\n";
   }
-  WriteFile("fig09_scaling.tsv", tsv);
+  WriteFile(args.OutPath("fig09_scaling.tsv"), tsv);
   return 0;
 }
 

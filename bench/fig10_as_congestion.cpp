@@ -1,6 +1,6 @@
 // Fig. 10: congestion on the AS-level Internet topology — CDF over edges of
 // the number of routes crossing each edge when every (sampled) node routes
-// to one random destination; Disco vs S4 vs shortest-path routing.
+// to one random destination; Disco vs shortest-path routing vs S4.
 //
 // Paper result: the curves are indistinguishable until the very top of the
 // distribution; a small fraction (~0.05%) of edges near landmarks carry
@@ -10,8 +10,6 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "baselines/s4.h"
-#include "baselines/spf.h"
 #include "sim/metrics.h"
 #include "util/rng.h"
 
@@ -56,28 +54,24 @@ int Main(int argc, char** argv) {
   const Graph g = MakeAsLevel(args);
   std::printf("topology: n=%u, m=%zu\n", g.num_nodes(), g.num_edges());
 
-  const Params p = args.MakeParams();
-  Disco disco(g, p);
-  S4 s4(g, p);
-  ShortestPathRouting spf(g, 512);
+  const auto schemes = MakeSchemesOrDie(
+      args.SchemesOr({"disco", "spf", "s4"}), g, args.MakeParams());
 
   const std::size_t sources =
       args.SamplesOr(args.quick ? 1000 : std::min<std::size_t>(
                                              g.num_nodes(), 8000));
-  const auto run = [&](const std::string& label, const RouteFn& fn) {
-    const auto counts = SampledCongestion(g, fn, sources, args.seed);
+  for (const auto& scheme : schemes) {
+    const auto counts = SampledCongestion(
+        g, scheme->route_fn(api::Phase::kLater), sources, args.seed);
     std::vector<double> vals(counts.begin(), counts.end());
-    PrintCdf(label, vals, "fig10_" + label);
+    PrintCdf(scheme->label(), vals,
+             args.OutPath("fig10_" + scheme->label()));
     // The action is in the extreme tail; print it explicitly.
     std::sort(vals.begin(), vals.end());
     std::printf("  top edges: p99.9=%.0f p99.95=%.0f max=%.0f\n",
                 Percentile(vals, 0.999), Percentile(vals, 0.9995),
                 vals.back());
-  };
-  run("Disco", [&](NodeId s, NodeId t) { return disco.RouteLater(s, t); });
-  run("Path-Vector",
-      [&](NodeId s, NodeId t) { return spf.RoutePacket(s, t); });
-  run("S4", [&](NodeId s, NodeId t) { return s4.RouteLater(s, t); });
+  }
   return 0;
 }
 

@@ -10,6 +10,8 @@
 // five runs.
 #include "bench_common.h"
 
+#include "core/disco.h"
+
 #include <cstdio>
 
 #include "sim/metrics.h"

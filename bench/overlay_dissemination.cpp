@@ -9,6 +9,8 @@
 
 #include <cstdio>
 
+#include "api/schemes.h"
+
 namespace disco::bench {
 namespace {
 
@@ -22,7 +24,10 @@ struct FingerStats {
 FingerStats Measure(const Graph& g, int fingers, const Args& args) {
   Params p = args.MakeParams();
   p.fingers = fingers;
-  Disco disco(g, p);
+  // Dissemination is measured on the overlay itself, a Disco-specific
+  // structure behind the generic API; hold the concrete adapter.
+  api::DiscoScheme scheme(g, p);
+  Disco& disco = scheme.impl();
   FingerStats out;
   double hop_sum = 0;
   std::uint64_t msg_sum = 0;

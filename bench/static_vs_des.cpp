@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "api/schemes.h"
 #include "graph/shortest_path.h"
 #include "sim/metrics.h"
 #include "sim/pv_sim.h"
@@ -28,7 +29,11 @@ int Main(int argc, char** argv) {
 
   Params p;
   p.seed = args.seed;
-  Disco disco(g, p);
+  // The DES cross-check needs the protocol internals (landmarks,
+  // vicinities, addresses), so it holds the concrete adapter rather than
+  // going through the registry.
+  api::DiscoScheme scheme(g, p);
+  Disco& disco = scheme.impl();
   const LandmarkSet& lms = disco.nd().landmarks();
 
   PvConfig cfg;

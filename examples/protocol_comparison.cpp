@@ -1,20 +1,19 @@
-// Protocol comparison: run Disco, NDDisco, S4, VRR and shortest-path
-// routing side by side on a topology of your choice and print a compact
-// scorecard — the evaluation of §5 in miniature, on your own graph.
+// Protocol comparison: run any set of registered routing schemes side by
+// side on a topology of your choice and print a compact scorecard — the
+// evaluation of §5 in miniature, on your own graph.
 //
-//   $ ./protocol_comparison [gnm|geo|as|router] [n] [seed]
+//   $ ./protocol_comparison [gnm|geo|as|router] [n] [seed] [schemes]
+//   $ ./protocol_comparison gnm 2048 7 disco,s4,vrr
 //
-// Also demonstrates loading a real edge-list topology: pass a file path as
-// the first argument instead of a family name.
+// Schemes come from the registry (src/api/registry.h), so a protocol added
+// there shows up here with no changes. Pass a file path as the first
+// argument to load a real edge-list topology instead of a family name.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
-#include "baselines/s4.h"
-#include "baselines/spf.h"
-#include "baselines/vrr.h"
-#include "core/disco.h"
-#include "graph/generators.h"
+#include "api/registry.h"
+#include "api/sweep.h"
 #include "graph/io.h"
 #include "sim/metrics.h"
 #include "util/stats.h"
@@ -26,22 +25,16 @@ int main(int argc, char** argv) {
   const NodeId n = argc > 2 ? static_cast<NodeId>(std::atoi(argv[2])) : 1024;
   const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10)
                                       : 1;
+  const std::vector<std::string> names =
+      argc > 4 ? api::SplitSchemeList(argv[4]) : api::RegisteredSchemes();
 
-  Graph g;
-  if (family == "gnm") {
-    g = ConnectedGnm(n, 4ull * n, seed);
-  } else if (family == "geo") {
-    g = ConnectedGeometric(n, 8.0, seed);
-  } else if (family == "as") {
-    g = AsLevelInternet(n, seed);
-  } else if (family == "router") {
-    g = RouterLevelInternet(n, seed);
-  } else {
+  Graph g = api::MakeSweepTopology(family, n, seed);
+  if (g.num_nodes() == 0) {
     const auto loaded = LoadEdgeList(family);
     if (!loaded) {
       std::fprintf(stderr,
                    "usage: %s [gnm|geo|as|router|<edge-list-file>] [n] "
-                   "[seed]\n",
+                   "[seed] [scheme,scheme,...]\n",
                    argv[0]);
       return 2;
     }
@@ -52,52 +45,41 @@ int main(int argc, char** argv) {
 
   Params p;
   p.seed = seed;
-  Disco disco(g, p);
-  S4 s4(g, p);
-  const Vrr vrr(g, p);
-  ShortestPathRouting spf(g, 512);
+  const auto schemes = api::MakeSchemes(names, g, p);
+  if (schemes.empty()) {
+    std::string registered;
+    for (const auto& r : api::RegisteredSchemes()) {
+      registered += registered.empty() ? r : "," + r;
+    }
+    std::fprintf(stderr, "unknown scheme (registered: %s)\n",
+                 registered.c_str());
+    return 2;
+  }
 
   StretchOptions opt;
   opt.num_pairs = 500;
   opt.seed = seed;
-  struct Row {
-    const char* name;
-    RouteFn route;
-    std::function<std::size_t(NodeId)> state;
-  };
-  s4.ClusterSizes();
-  const std::vector<Row> rows = {
-      {"Disco (first pkt)",
-       [&](NodeId s, NodeId t) { return disco.RouteFirst(s, t); },
-       [&](NodeId v) { return disco.State(v).total(); }},
-      {"Disco (later pkts)",
-       [&](NodeId s, NodeId t) { return disco.RouteLater(s, t); },
-       [&](NodeId v) { return disco.State(v).total(); }},
-      {"S4 (first pkt)",
-       [&](NodeId s, NodeId t) { return s4.RouteFirst(s, t); },
-       [&](NodeId v) { return s4.State(v).total(); }},
-      {"S4 (later pkts)",
-       [&](NodeId s, NodeId t) { return s4.RouteLater(s, t); },
-       [&](NodeId v) { return s4.State(v).total(); }},
-      {"VRR", [&](NodeId s, NodeId t) { return vrr.RoutePacket(s, t); },
-       [&](NodeId v) { return vrr.State(v).total(); }},
-      {"shortest-path",
-       [&](NodeId s, NodeId t) { return spf.RoutePacket(s, t); },
-       [&](NodeId v) { return spf.State(v).total(); }},
-  };
 
-  std::printf("\n%-20s %-12s %-12s %-12s %-12s %-12s\n", "protocol",
+  std::printf("\n%-22s %-12s %-12s %-12s %-12s %-12s\n", "protocol",
               "stretch.mean", "stretch.p95", "stretch.max", "state.mean",
               "state.max");
-  for (const Row& row : rows) {
-    const Summary st = Summarize(SampleStretch(g, row.route, opt));
-    std::vector<double> state;
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      state.push_back(static_cast<double>(row.state(v)));
+  for (const auto& scheme : schemes) {
+    const Summary state = Summarize(scheme->CollectState());
+    const auto print_row = [&](const std::string& row_label,
+                               const RouteFn& fn) {
+      const Summary st = Summarize(SampleStretch(g, fn, opt));
+      std::printf("%-22s %-12.3f %-12.3f %-12.3f %-12.1f %-12.0f\n",
+                  row_label.c_str(), st.mean, st.p95, st.max, state.mean,
+                  state.max);
+    };
+    if (scheme->distinguishes_first_packet()) {
+      print_row(scheme->label() + " (first pkt)",
+                scheme->route_fn(api::Phase::kFirst));
+      print_row(scheme->label() + " (later pkts)",
+                scheme->route_fn(api::Phase::kLater));
+    } else {
+      print_row(scheme->label(), scheme->route_fn(api::Phase::kLater));
     }
-    const Summary ss = Summarize(state);
-    std::printf("%-20s %-12.3f %-12.3f %-12.3f %-12.1f %-12.0f\n",
-                row.name, st.mean, st.p95, st.max, ss.mean, ss.max);
   }
   return 0;
 }

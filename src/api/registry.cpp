@@ -1,0 +1,146 @@
+#include "api/registry.h"
+
+#include <deque>
+#include <utility>
+
+#include "api/schemes.h"
+
+namespace disco::api {
+namespace {
+
+struct Entry {
+  SchemeInfo info;
+  SchemeFactory factory;
+  bool stock = true;  // false once RegisterScheme replaces the built-in
+};
+
+// A deque so SchemeInfo pointers handed out by GetSchemeInfo survive later
+// RegisterScheme calls.
+std::deque<Entry>& TheRegistry() {
+  static std::deque<Entry> entries = [] {
+    std::deque<Entry> e;
+    e.push_back({{"disco", "Disco", "Disco", true},
+                 [](const Graph& g, const Params& p) {
+                   return std::unique_ptr<RoutingScheme>(
+                       std::make_unique<DiscoScheme>(g, p));
+                 }});
+    e.push_back({{"nddisco", "ND-Disco", "ND", true},
+                 [](const Graph& g, const Params& p) {
+                   return std::unique_ptr<RoutingScheme>(
+                       std::make_unique<NdDiscoScheme>(g, p));
+                 }});
+    e.push_back({{"s4", "S4", "S4", true},
+                 [](const Graph& g, const Params& p) {
+                   return std::unique_ptr<RoutingScheme>(
+                       std::make_unique<S4Scheme>(g, p));
+                 }});
+    e.push_back({{"vrr", "VRR", "VRR", false},
+                 [](const Graph& g, const Params& p) {
+                   return std::unique_ptr<RoutingScheme>(
+                       std::make_unique<VrrScheme>(g, p));
+                 }});
+    e.push_back({{"spf", "Path-vector", "SPF", false},
+                 [](const Graph& g, const Params& p) {
+                   return std::unique_ptr<RoutingScheme>(
+                       std::make_unique<SpfScheme>(g, p));
+                 }});
+    return e;
+  }();
+  return entries;
+}
+
+}  // namespace
+
+std::vector<std::string> RegisteredSchemes() {
+  std::vector<std::string> names;
+  for (const Entry& e : TheRegistry()) names.push_back(e.info.name);
+  return names;
+}
+
+bool IsRegisteredScheme(const std::string& name) {
+  return GetSchemeInfo(name) != nullptr;
+}
+
+const SchemeInfo* GetSchemeInfo(const std::string& name) {
+  for (const Entry& e : TheRegistry()) {
+    if (e.info.name == name) return &e.info;
+  }
+  return nullptr;
+}
+
+void RegisterScheme(const std::string& name, SchemeFactory factory) {
+  RegisterScheme(name, SchemeInfo{name, name, name, true},
+                 std::move(factory));
+}
+
+void RegisterScheme(const std::string& name, SchemeInfo info,
+                    SchemeFactory factory) {
+  info.name = name;
+  for (Entry& e : TheRegistry()) {
+    if (e.info.name == name) {
+      e.info = std::move(info);
+      e.factory = std::move(factory);
+      e.stock = false;
+      return;
+    }
+  }
+  TheRegistry().push_back({std::move(info), std::move(factory), false});
+}
+
+std::unique_ptr<RoutingScheme> MakeScheme(const std::string& name,
+                                          const Graph& g,
+                                          const Params& params) {
+  for (const Entry& e : TheRegistry()) {
+    if (e.info.name == name) return e.factory(g, params);
+  }
+  return nullptr;
+}
+
+std::vector<std::unique_ptr<RoutingScheme>> MakeSchemes(
+    const std::vector<std::string>& names, const Graph& g,
+    const Params& params) {
+  // "disco" and "nddisco" are two views of one composite protocol; build
+  // that composite once per batch — but only while their factories are the
+  // stock ones (a RegisterScheme replacement must win over the shortcut).
+  const auto is_stock = [](const std::string& name) {
+    for (const Entry& e : TheRegistry()) {
+      if (e.info.name == name) return e.stock;
+    }
+    return false;
+  };
+  std::shared_ptr<Disco> shared_disco;
+  const auto disco_of = [&] {
+    if (!shared_disco) shared_disco = std::make_shared<Disco>(g, params);
+    return shared_disco;
+  };
+
+  std::vector<std::unique_ptr<RoutingScheme>> out;
+  for (const std::string& name : names) {
+    std::unique_ptr<RoutingScheme> scheme;
+    if (name == "disco" && is_stock(name)) {
+      scheme = std::make_unique<DiscoScheme>(disco_of());
+    } else if (name == "nddisco" && is_stock(name)) {
+      scheme = std::make_unique<NdDiscoScheme>(disco_of());
+    } else {
+      scheme = MakeScheme(name, g, params);
+    }
+    if (!scheme) return {};
+    out.push_back(std::move(scheme));
+  }
+  return out;
+}
+
+std::vector<std::string> SplitSchemeList(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string::size_type start = 0;
+  while (start <= csv.size()) {
+    const auto comma = csv.find(',', start);
+    const auto end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace disco::api

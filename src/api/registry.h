@@ -1,0 +1,64 @@
+// String-keyed factory over the RoutingScheme adapters: protocols become
+// data ("disco,s4,vrr" on a command line), not code. Built-ins are
+// registered on first use; experiments can add their own variants (e.g. a
+// re-parameterized Disco) with RegisterScheme before parsing flags.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/routing_scheme.h"
+
+namespace disco::api {
+
+using SchemeFactory = std::function<std::unique_ptr<RoutingScheme>(
+    const Graph& g, const Params& params)>;
+
+/// Static metadata about a registered scheme — what a harness needs to lay
+/// out columns before (or without) building an instance.
+struct SchemeInfo {
+  std::string name;        // registry key
+  std::string label;       // display label ("ND-Disco")
+  std::string short_name;  // column/TSV key ("ND")
+  bool distinguishes_first_packet = true;
+};
+
+/// Metadata for `name`, or nullptr if unregistered. The pointer stays
+/// valid for the process lifetime.
+const SchemeInfo* GetSchemeInfo(const std::string& name);
+
+/// Registered keys in registration order; built-ins first:
+/// disco, nddisco, s4, vrr, spf.
+std::vector<std::string> RegisteredSchemes();
+
+bool IsRegisteredScheme(const std::string& name);
+
+/// Adds (or replaces) a factory under `name`. Not thread-safe; call during
+/// startup, before any MakeScheme. The overload without `info` labels the
+/// scheme by its key and assumes it distinguishes first packets.
+void RegisterScheme(const std::string& name, SchemeFactory factory);
+void RegisterScheme(const std::string& name, SchemeInfo info,
+                    SchemeFactory factory);
+
+/// Builds one converged scheme instance. Returns nullptr for an unknown
+/// name (callers print RegisteredSchemes() in their usage message).
+std::unique_ptr<RoutingScheme> MakeScheme(const std::string& name,
+                                          const Graph& g,
+                                          const Params& params);
+
+/// Builds one instance per name, in order. Unlike per-name MakeScheme
+/// calls, a batch containing both "disco" and "nddisco" shares a single
+/// underlying Disco (same results — every scheme is a pure function of
+/// (graph, params) — but the landmark/vicinity work is done once).
+/// Returns an empty vector if any name is unknown.
+std::vector<std::unique_ptr<RoutingScheme>> MakeSchemes(
+    const std::vector<std::string>& names, const Graph& g,
+    const Params& params);
+
+/// Splits "disco,s4,vrr" into {"disco","s4","vrr"} (empty pieces dropped).
+/// Does not validate against the registry.
+std::vector<std::string> SplitSchemeList(const std::string& csv);
+
+}  // namespace disco::api

@@ -1,0 +1,235 @@
+#include "api/sweep.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "api/registry.h"
+#include "graph/generators.h"
+#include "runtime/parallel_for.h"
+#include "sim/metrics.h"
+#include "util/stats.h"
+
+namespace disco::api {
+
+const std::vector<std::string>& SweepTopologyFamilies() {
+  static const std::vector<std::string> families = {"gnm", "geo", "as",
+                                                    "router"};
+  return families;
+}
+
+Graph MakeSweepTopology(const std::string& family, NodeId n,
+                        std::uint64_t seed) {
+  if (family == "gnm") return ConnectedGnm(n, 4ull * n, seed);
+  if (family == "geo") return ConnectedGeometric(n, 8.0, seed);
+  if (family == "as") return AsLevelInternet(n, seed);
+  if (family == "router") return RouterLevelInternet(n, seed);
+  return Graph{};
+}
+
+std::vector<SweepCell> ExpandGrid(const SweepSpec& spec) {
+  std::vector<SweepCell> grid;
+  for (const std::string& topology : spec.topologies) {
+    for (const NodeId n : spec.sizes) {
+      for (const std::uint64_t seed : spec.seeds) {
+        for (const std::string& scheme : spec.schemes) {
+          SweepCell cell;
+          cell.index = grid.size();
+          cell.topology = topology;
+          cell.n = n;
+          cell.seed = seed;
+          cell.scheme = scheme;
+          grid.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+std::vector<SweepCell> ShardOf(const std::vector<SweepCell>& grid,
+                               std::size_t shard, std::size_t num_shards) {
+  std::vector<SweepCell> mine;
+  for (const SweepCell& cell : grid) {
+    if (cell.index % num_shards == shard) mine.push_back(cell);
+  }
+  return mine;
+}
+
+std::string SweepSignature(const SweepSpec& spec) {
+  const auto join = [](const std::vector<std::string>& v) {
+    std::string out;
+    for (const std::string& s : v) {
+      if (!out.empty()) out += ",";
+      out += s;
+    }
+    return out;
+  };
+  std::string sizes, seeds;
+  for (const NodeId n : spec.sizes) {
+    if (!sizes.empty()) sizes += ",";
+    sizes += std::to_string(n);
+  }
+  for (const std::uint64_t s : spec.seeds) {
+    if (!seeds.empty()) seeds += ",";
+    seeds += std::to_string(s);
+  }
+  char knobs[160];
+  std::snprintf(knobs, sizeof knobs,
+                " pairs=%zu gbits=%d lmf=%g vf=%g fingers=%d",
+                spec.pairs, spec.base.group_bits_offset,
+                spec.base.landmark_prob_factor, spec.base.vicinity_factor,
+                spec.base.fingers);
+  return "#spec topos=" + join(spec.topologies) + " sizes=" + sizes +
+         " seeds=" + seeds + " schemes=" + join(spec.schemes) + knobs +
+         "\n";
+}
+
+std::string SweepHeader() {
+  return "cell\ttopology\tn\tm\tseed\tscheme\t"
+         "stretch_first_mean\tstretch_first_p95\tstretch_first_max\t"
+         "stretch_later_mean\tstretch_later_p95\tstretch_later_max\t"
+         "failed_routes\tstate_mean\tstate_max\n";
+}
+
+std::string RunSweepCell(const SweepCell& cell, const SweepSpec& spec) {
+  const Graph g = MakeSweepTopology(cell.topology, cell.n, cell.seed);
+  Params params = spec.base;
+  params.seed = cell.seed;
+  const auto scheme = MakeScheme(cell.scheme, g, params);
+  if (!scheme || g.num_nodes() == 0) return "";
+
+  scheme->PrewarmFor(scheme->AllNodes());
+
+  StretchOptions opt;
+  opt.num_pairs = spec.pairs;
+  opt.seed = cell.seed;
+  std::vector<StretchSample> first_details, later_details;
+  const Summary later = Summarize(
+      SampleStretch(g, scheme->route_fn(Phase::kLater), opt,
+                    &later_details));
+  // For schemes with no first-packet distinction both passes route the
+  // same packets; reuse the later summary instead of routing them twice.
+  const Summary first =
+      scheme->distinguishes_first_packet()
+          ? Summarize(SampleStretch(g, scheme->route_fn(Phase::kFirst),
+                                    opt, &first_details))
+          : later;
+  const Summary state = Summarize(scheme->CollectState());
+  std::size_t failed = 0;
+  for (const auto& d : first_details) failed += d.failed;
+  for (const auto& d : later_details) failed += d.failed;
+
+  char line[512];
+  std::snprintf(line, sizeof line,
+                "%zu\t%s\t%u\t%zu\t%llu\t%s\t"
+                "%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%zu\t%.6g\t%.6g\n",
+                cell.index, cell.topology.c_str(), g.num_nodes(),
+                g.num_edges(),
+                static_cast<unsigned long long>(cell.seed),
+                cell.scheme.c_str(), first.mean, first.p95, first.max,
+                later.mean, later.p95, later.max, failed, state.mean,
+                state.max);
+  return line;
+}
+
+std::string RunSweepCells(const std::vector<SweepCell>& cells,
+                          const SweepSpec& spec,
+                          runtime::ThreadPool* pool) {
+  std::vector<std::string> rows(cells.size());
+  runtime::ParallelForTasks(
+      cells.size(),
+      [&](std::size_t i) { rows[i] = RunSweepCell(cells[i], spec); }, pool);
+  std::string out;
+  for (const std::string& row : rows) out += row;
+  return out;
+}
+
+std::string ShardFileName(std::size_t shard, std::size_t num_shards) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "sweep_shard_%zu_of_%zu.tsv", shard,
+                num_shards);
+  return buf;
+}
+
+std::string MergeShardContents(const std::vector<std::string>& shards,
+                               std::string* error) {
+  const std::string header = SweepHeader();
+  struct Row {
+    std::size_t cell;
+    std::string line;
+  };
+  std::vector<Row> rows;
+  std::string signature;  // shard 0's "#spec" line, if any
+  for (std::size_t si = 0; si < shards.size(); ++si) {
+    const std::string& content = shards[si];
+    std::size_t pos = 0;
+    bool saw_header = false;
+    std::string my_signature;
+    while (pos < content.size()) {
+      auto nl = content.find('\n', pos);
+      if (nl == std::string::npos) nl = content.size();
+      const std::string line = content.substr(pos, nl - pos);
+      pos = nl + 1;
+      if (line.empty()) continue;
+      if (!saw_header) {
+        if (line[0] == '#' && my_signature.empty()) {
+          my_signature = line + "\n";
+          continue;
+        }
+        if (line + "\n" != header) {
+          if (error) *error = "shard " + std::to_string(si) +
+                              ": unexpected header line";
+          return "";
+        }
+        saw_header = true;
+        continue;
+      }
+      char* end = nullptr;
+      const unsigned long long cell = std::strtoull(line.c_str(), &end, 10);
+      if (end == line.c_str() || *end != '\t') {
+        if (error) *error = "shard " + std::to_string(si) +
+                            ": malformed row: " + line;
+        return "";
+      }
+      rows.push_back({static_cast<std::size_t>(cell), line});
+    }
+    if (!saw_header) {
+      if (error) *error = "shard " + std::to_string(si) + ": empty file";
+      return "";
+    }
+    // Every shard of one sweep carries the same grid fingerprint; a stale
+    // shard from a different sweep must fail here instead of merging into
+    // a silently mixed table.
+    if (si == 0) {
+      signature = my_signature;
+    } else if (my_signature != signature) {
+      if (error) *error = "shard " + std::to_string(si) +
+                          ": #spec fingerprint differs from shard 0 "
+                          "(shards come from different sweeps)";
+      return "";
+    }
+  }
+
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.cell < b.cell; });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].cell != i) {
+      if (error) {
+        *error = rows[i].cell < i
+                     ? "duplicate cell " + std::to_string(rows[i].cell)
+                     : "missing cell " + std::to_string(i);
+      }
+      return "";
+    }
+  }
+
+  std::string out = signature + header;
+  for (const Row& row : rows) {
+    out += row.line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace disco::api

@@ -1,0 +1,105 @@
+// Sharded multi-graph experiment sweeps (the ROADMAP driver): expands a
+// (topology × n × seed × scheme) grid into independent cells, runs each
+// cell's measurements through the runtime thread pool, and merges
+// per-shard TSVs into one deterministic table.
+//
+// Sharding contract: the grid expansion is a pure function of the spec, so
+// every process of a multi-process run derives the same cell indexing;
+// shard i of m takes the cells with index % m == i (round-robin, so equal
+// topologies spread across shards). Each cell is self-contained — it
+// builds its own graph and converged scheme from (topology, n, seed) — so
+// merged output is byte-identical to a single-process run of the whole
+// grid, no matter how cells were partitioned.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/params.h"
+#include "runtime/thread_pool.h"
+
+namespace disco::api {
+
+struct SweepSpec {
+  std::vector<std::string> topologies;  // from SweepTopologyFamilies()
+  std::vector<NodeId> sizes;
+  std::vector<std::uint64_t> seeds;
+  std::vector<std::string> schemes;  // registry keys
+  /// Sampled source-destination pairs per cell (stretch measurement).
+  std::size_t pairs = 200;
+  /// Protocol sizing knobs; `base.seed` is overridden per cell.
+  Params base;
+};
+
+/// One grid point: a converged scheme on one generated topology.
+struct SweepCell {
+  std::size_t index = 0;  // position in the full grid; the merge sort key
+  std::string topology;
+  NodeId n = 0;
+  std::uint64_t seed = 1;
+  std::string scheme;
+};
+
+/// The synthetic topology families a sweep can draw from:
+/// gnm, geo, as, router.
+const std::vector<std::string>& SweepTopologyFamilies();
+
+/// Builds one topology instance; returns an empty graph for an unknown
+/// family (validate against SweepTopologyFamilies() first).
+Graph MakeSweepTopology(const std::string& family, NodeId n,
+                        std::uint64_t seed);
+
+/// Expands the spec into cells, nested topology -> n -> seed -> scheme,
+/// with index = position. Deterministic: every shard of a multi-process
+/// run computes the same expansion.
+std::vector<SweepCell> ExpandGrid(const SweepSpec& spec);
+
+/// The cells shard `shard` of `num_shards` is responsible for
+/// (index % num_shards == shard).
+std::vector<SweepCell> ShardOf(const std::vector<SweepCell>& grid,
+                               std::size_t shard, std::size_t num_shards);
+
+/// TSV column header (with trailing newline) shared by shard files and the
+/// merged table.
+std::string SweepHeader();
+
+/// One "#spec ..." comment line (with trailing newline) fingerprinting the
+/// grid: topologies, sizes, seeds, schemes, pairs and the sizing knobs.
+/// Shard files written by the driver start with it, and MergeShardContents
+/// refuses to combine shards whose fingerprints differ — stale shard files
+/// from an earlier, different sweep in the same --out directory must not
+/// merge into a silently mixed table.
+std::string SweepSignature(const SweepSpec& spec);
+
+/// Runs one cell: builds the topology and scheme, samples first/later
+/// stretch (spec.pairs pairs, the cell seed), collects per-node state, and
+/// renders one TSV row (with trailing newline). Returns "" for an
+/// unregistered scheme or unknown/empty topology — the row is simply
+/// absent, which a later MergeShardContents reports as a missing cell, so
+/// validate the spec against RegisteredSchemes()/SweepTopologyFamilies()
+/// up front (the disco_sweep driver does).
+std::string RunSweepCell(const SweepCell& cell, const SweepSpec& spec);
+
+/// Runs `cells` as independent trials over the thread pool and returns
+/// their rows concatenated in cell order (no header). Pass `pool` (e.g. a
+/// ThreadPool(1)) to bound trial-level concurrency when cells are large;
+/// fan-outs inside a cell still use the shared pool.
+std::string RunSweepCells(const std::vector<SweepCell>& cells,
+                          const SweepSpec& spec,
+                          runtime::ThreadPool* pool = nullptr);
+
+/// "sweep_shard_<shard>_of_<num_shards>.tsv".
+std::string ShardFileName(std::size_t shard, std::size_t num_shards);
+
+/// Merges whole shard files (each an optional SweepSignature() line, then
+/// SweepHeader() + rows) into the final table: rows sorted by cell index,
+/// each index 0..N-1 present exactly once, signature (when present)
+/// identical across shards and reproduced in the output. On any
+/// inconsistency (bad header, mismatched signatures, duplicate or missing
+/// cell) returns an empty string and sets *error.
+std::string MergeShardContents(const std::vector<std::string>& shards,
+                               std::string* error);
+
+}  // namespace disco::api

@@ -1,0 +1,167 @@
+// Sweep subsystem tests: deterministic grid expansion, round-robin
+// sharding, and — the sharding contract — a merged multi-shard run being
+// byte-identical to the single unsharded run of the same grid.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/sweep.h"
+
+namespace disco {
+namespace {
+
+api::SweepSpec MiniSpec() {
+  api::SweepSpec spec;
+  spec.topologies = {"gnm"};
+  spec.sizes = {128};
+  spec.seeds = {1, 2};
+  spec.schemes = {"disco", "s4"};
+  spec.pairs = 20;
+  return spec;
+}
+
+TEST(SweepGrid, ExpandsInDeterministicOrder) {
+  api::SweepSpec spec = MiniSpec();
+  spec.topologies = {"gnm", "geo"};
+  const auto grid = api::ExpandGrid(spec);
+  ASSERT_EQ(grid.size(), 2u * 1u * 2u * 2u);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(grid[i].index, i);
+  }
+  // Nested topology -> n -> seed -> scheme.
+  EXPECT_EQ(grid[0].topology, "gnm");
+  EXPECT_EQ(grid[0].seed, 1u);
+  EXPECT_EQ(grid[0].scheme, "disco");
+  EXPECT_EQ(grid[1].scheme, "s4");
+  EXPECT_EQ(grid[2].seed, 2u);
+  EXPECT_EQ(grid[4].topology, "geo");
+  // Two expansions of the same spec agree (the cross-process contract).
+  const auto again = api::ExpandGrid(spec);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(grid[i].topology, again[i].topology);
+    EXPECT_EQ(grid[i].n, again[i].n);
+    EXPECT_EQ(grid[i].seed, again[i].seed);
+    EXPECT_EQ(grid[i].scheme, again[i].scheme);
+  }
+}
+
+TEST(SweepGrid, ShardsPartitionTheGrid) {
+  const auto grid = api::ExpandGrid(MiniSpec());
+  std::vector<bool> seen(grid.size(), false);
+  for (std::size_t shard = 0; shard < 3; ++shard) {
+    for (const auto& cell : api::ShardOf(grid, shard, 3)) {
+      EXPECT_FALSE(seen[cell.index]);
+      seen[cell.index] = true;
+    }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_TRUE(seen[i]) << "cell " << i << " unassigned";
+  }
+}
+
+TEST(SweepRun, MergedShardsMatchUnshardedByteForByte) {
+  const api::SweepSpec spec = MiniSpec();
+  const auto grid = api::ExpandGrid(spec);
+
+  const std::string full = api::SweepHeader() + api::RunSweepCells(grid,
+                                                                   spec);
+  const std::string shard0 =
+      api::SweepHeader() + api::RunSweepCells(api::ShardOf(grid, 0, 2),
+                                              spec);
+  const std::string shard1 =
+      api::SweepHeader() + api::RunSweepCells(api::ShardOf(grid, 1, 2),
+                                              spec);
+
+  std::string error;
+  const std::string merged =
+      api::MergeShardContents({shard0, shard1}, &error);
+  ASSERT_FALSE(merged.empty()) << error;
+  EXPECT_EQ(merged, full);
+
+  // Shard order on the merge command line must not matter either.
+  const std::string reversed =
+      api::MergeShardContents({shard1, shard0}, &error);
+  EXPECT_EQ(reversed, full);
+}
+
+TEST(SweepRun, RowsCarryTheCellMetadata) {
+  api::SweepSpec spec = MiniSpec();
+  spec.seeds = {5};
+  spec.schemes = {"spf"};
+  const auto grid = api::ExpandGrid(spec);
+  ASSERT_EQ(grid.size(), 1u);
+  const std::string row = api::RunSweepCell(grid[0], spec);
+  EXPECT_EQ(row.compare(0, 7, "0\tgnm\t1"), 0) << row;  // cell, topo, n=128
+  EXPECT_NE(row.find("\tspf\t"), std::string::npos);
+  EXPECT_EQ(row.back(), '\n');
+}
+
+TEST(SweepMerge, RejectsMissingDuplicateAndMalformedCells) {
+  const std::string header = api::SweepHeader();
+  std::string error;
+
+  EXPECT_EQ(api::MergeShardContents({header + "0\ta\n", header + "2\tb\n"},
+                                    &error),
+            "");
+  EXPECT_NE(error.find("missing cell 1"), std::string::npos) << error;
+
+  EXPECT_EQ(api::MergeShardContents({header + "0\ta\n0\tb\n"}, &error), "");
+  EXPECT_NE(error.find("duplicate cell 0"), std::string::npos) << error;
+
+  EXPECT_EQ(api::MergeShardContents({header + "oops\n"}, &error), "");
+  EXPECT_NE(error.find("malformed"), std::string::npos) << error;
+
+  EXPECT_EQ(api::MergeShardContents({"not-the-header\n0\ta\n"}, &error),
+            "");
+  EXPECT_NE(error.find("header"), std::string::npos) << error;
+
+  EXPECT_EQ(api::MergeShardContents({""}, &error), "");
+
+  // A well-formed pair merges in index order.
+  EXPECT_EQ(api::MergeShardContents({header + "1\tb\n", header + "0\ta\n"},
+                                    &error),
+            header + "0\ta\n1\tb\n");
+}
+
+TEST(SweepMerge, SpecFingerprintGuardsAgainstMixedSweeps) {
+  const std::string header = api::SweepHeader();
+  const std::string sig = api::SweepSignature(MiniSpec());
+  std::string error;
+
+  // Matching fingerprints merge and survive into the output.
+  EXPECT_EQ(api::MergeShardContents({sig + header + "0\ta\n",
+                                     sig + header + "1\tb\n"},
+                                    &error),
+            sig + header + "0\ta\n1\tb\n");
+
+  // A stale shard from a different grid must not merge.
+  api::SweepSpec other = MiniSpec();
+  other.sizes = {256};
+  const std::string other_sig = api::SweepSignature(other);
+  ASSERT_NE(sig, other_sig);
+  EXPECT_EQ(api::MergeShardContents({sig + header + "0\ta\n",
+                                     other_sig + header + "1\tb\n"},
+                                    &error),
+            "");
+  EXPECT_NE(error.find("different sweeps"), std::string::npos) << error;
+
+  // Signed and unsigned shards do not mix either.
+  EXPECT_EQ(api::MergeShardContents({sig + header + "0\ta\n",
+                                     header + "1\tb\n"},
+                                    &error),
+            "");
+}
+
+TEST(SweepTopologies, FamiliesAreBuildable) {
+  for (const std::string& family : api::SweepTopologyFamilies()) {
+    const Graph g = api::MakeSweepTopology(family, 64, 1);
+    EXPECT_GT(g.num_nodes(), 0u) << family;
+    EXPECT_GT(g.num_edges(), 0u) << family;
+  }
+  EXPECT_EQ(api::MakeSweepTopology("no-such-family", 64, 1).num_nodes(),
+            0u);
+}
+
+}  // namespace
+}  // namespace disco

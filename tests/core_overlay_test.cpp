@@ -41,7 +41,9 @@ TEST(Overlay, NoSelfLoopsOrDuplicates) {
     const auto& nb = f.overlay.neighbors(v);
     for (std::size_t i = 0; i < nb.size(); ++i) {
       EXPECT_NE(nb[i], v);
-      if (i > 0) EXPECT_LT(nb[i - 1], nb[i]);  // sorted unique
+      if (i > 0) {
+        EXPECT_LT(nb[i - 1], nb[i]);  // sorted unique
+      }
     }
   }
 }

@@ -64,7 +64,9 @@ TEST(Landmarks, LocalDecisions) {
   // Every landmark of the large (lower-probability) run that is < 1000
   // must also be a landmark of the small run.
   for (const NodeId l : large.landmarks) {
-    if (l < 1000) EXPECT_TRUE(small.Contains(l)) << l;
+    if (l < 1000) {
+      EXPECT_TRUE(small.Contains(l)) << l;
+    }
   }
 }
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI smoke for the sharded sweep driver: a 2-shard mini-grid, merged, must
+# be byte-identical to the same grid run unsharded in one process.
+#   usage: sweep_smoke.sh <path-to-disco_sweep>
+set -euo pipefail
+
+BIN="$1"
+dir="$(mktemp -d)"
+trap 'rm -rf "$dir"' EXIT
+
+"$BIN" --quick --out="$dir/single" > /dev/null
+"$BIN" --quick --shard=0/2 --out="$dir/sharded" > /dev/null
+"$BIN" --quick --shard=1/2 --out="$dir/sharded" > /dev/null
+"$BIN" --merge --out="$dir/sharded" > /dev/null
+
+if ! cmp "$dir/single/sweep.tsv" "$dir/sharded/sweep.tsv"; then
+  echo "sweep_smoke: merged shards differ from the unsharded run" >&2
+  exit 1
+fi
+rows=$(grep -cv -e '^#' -e '^cell	' "$dir/single/sweep.tsv")
+echo "sweep_smoke OK: $rows cells, merge byte-identical"
