@@ -6,7 +6,9 @@
 #include <cstring>
 #include <filesystem>
 #include <sstream>
+#include <stdexcept>
 
+#include "exec/wire.h"
 #include "graph/generators.h"
 #include "runtime/thread_pool.h"
 #include "sim/metrics.h"
@@ -37,6 +39,12 @@ std::string JoinNames(const std::vector<std::string>& names) {
       "  --out=<dir>      directory for TSV output (default: cwd)\n"
       "  --threads=<int>  thread-pool width (default: DISCO_THREADS env,\n"
       "                   else hardware concurrency)\n"
+      "  --backend=<b>    execution backend for multi-task fan-outs\n"
+      "                   (disco_sweep, fig04/05, fig09): threads\n"
+      "                   (default, in-process) or procs (worker pool)\n"
+      "  --workers=<int>  worker subprocesses for --backend=procs\n"
+      "                   (default: one per hardware thread)\n"
+      "  --worker=<job>   internal: serve one executor job as a worker\n"
       "  --full           run at the paper's full scale\n"
       "  --quick          shrink everything (CI smoke scale)\n"
       "  --help           this message\n%s",
@@ -50,6 +58,7 @@ std::string JoinNames(const std::vector<std::string>& names) {
 Args Args::Parse(int argc, char** argv, const char* extra_usage,
                  const ExtraFlag& extra) {
   Args a;
+  a.raw_argv.assign(argv, argv + argc);
   if (std::getenv("REPRO_FULL") != nullptr) a.full = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -74,6 +83,32 @@ Args Args::Parse(int argc, char** argv, const char* extra_usage,
         PrintUsageAndExit(argv[0], extra_usage, 2);
       }
       a.threads = static_cast<int>(t);
+    } else if (const char* v = value_of("--backend=")) {
+      if (!exec::ParseBackend(v, &a.backend)) {
+        std::fprintf(stderr, "--backend must be \"threads\" or \"procs\", "
+                             "got \"%s\"\n", v);
+        PrintUsageAndExit(argv[0], extra_usage, 2);
+      }
+    } else if (const char* v = value_of("--workers=")) {
+      char* end = nullptr;
+      const unsigned long long w = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || w == 0) {
+        std::fprintf(stderr, "--workers needs a positive integer, got "
+                             "\"%s\"\n", v);
+        PrintUsageAndExit(argv[0], extra_usage, 2);
+      }
+      a.workers = static_cast<std::size_t>(w);
+    } else if (const char* v = value_of("--worker=")) {
+      // Internal: this process was spawned by a driver's process executor
+      // to serve one Run call (see src/exec/executor.h).
+      char* end = nullptr;
+      const unsigned long long job = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "--worker needs a job number, got \"%s\"\n",
+                     v);
+        std::exit(2);
+      }
+      exec::EnterWorkerMode(static_cast<std::size_t>(job));
     } else if (const char* v = value_of("--out=")) {
       a.out = v;
     } else if (const char* v = value_of("--schemes=")) {
@@ -118,6 +153,15 @@ Args Args::Parse(int argc, char** argv, const char* extra_usage,
   return a;
 }
 
+exec::ExecOptions Args::MakeExecOptions(runtime::ThreadPool* pool) const {
+  exec::ExecOptions opts;
+  opts.backend = backend;
+  opts.workers = workers;
+  opts.worker_argv = raw_argv;
+  opts.pool = pool;
+  return opts;
+}
+
 std::string Args::OutPath(const std::string& name) const {
   if (out.empty()) return name;
   return out + "/" + name;
@@ -131,29 +175,61 @@ void Banner(const std::string& figure, const std::string& expectation) {
               figure.c_str(), expectation.c_str());
 }
 
-void PrintCdf(const std::string& label, std::vector<double> values,
-              const std::string& file) {
-  if (values.empty()) {
-    std::printf("%-28s (no data)\n", label.c_str());
-    return;
-  }
+namespace {
+
+// "%-28s" without snprintf's buffer limit: labels longer than the column
+// (e.g. a long custom-registered scheme) must widen the line, never be
+// truncated.
+std::string PaddedLabel(const std::string& label) {
+  std::string out = label;
+  if (out.size() < 28) out.append(28 - out.size(), ' ');
+  return out;
+}
+
+}  // namespace
+
+std::string CdfLine(const std::string& label, std::vector<double> values) {
+  if (values.empty()) return PaddedLabel(label) + " (no data)\n";
   std::sort(values.begin(), values.end());
-  std::printf("%-28s", label.c_str());
+  std::string line = PaddedLabel(label);
+  char buf[64];
   static const double kQ[] = {0.01, 0.05, 0.10, 0.25, 0.50,
                               0.75, 0.90, 0.95, 0.99, 1.00};
-  for (const double q : kQ) std::printf(" p%02.0f=%-9.4g", q * 100,
-                                        Percentile(values, q));
-  std::printf("\n");
-  if (!file.empty()) {
-    WriteFile(file + ".tsv", CdfToCsv(Cdf(values, 256)));
+  for (const double q : kQ) {
+    std::snprintf(buf, sizeof buf, " p%02.0f=%-9.4g", q * 100,
+                  Percentile(values, q));
+    line += buf;
   }
+  line += "\n";
+  return line;
+}
+
+std::string SummaryLine(const std::string& label,
+                        std::vector<double> values) {
+  const Summary s = Summarize(std::move(values));
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                " count=%-7zu mean=%-10.4g p50=%-10.4g p95=%-10.4g "
+                "max=%-10.4g\n",
+                s.count, s.mean, s.p50, s.p95, s.max);
+  return PaddedLabel(label) + buf;
+}
+
+std::string CdfTsvContent(std::vector<double> values) {
+  return CdfToCsv(Cdf(std::move(values), 256));
+}
+
+void PrintCdf(const std::string& label, std::vector<double> values,
+              const std::string& file) {
+  const bool have_data = !values.empty();
+  std::string tsv;
+  if (have_data && !file.empty()) tsv = CdfTsvContent(values);
+  std::fputs(CdfLine(label, std::move(values)).c_str(), stdout);
+  if (have_data && !file.empty()) WriteFile(file + ".tsv", tsv);
 }
 
 void PrintSummary(const std::string& label, std::vector<double> values) {
-  const Summary s = Summarize(std::move(values));
-  std::printf("%-28s count=%-7zu mean=%-10.4g p50=%-10.4g p95=%-10.4g "
-              "max=%-10.4g\n",
-              label.c_str(), s.count, s.mean, s.p50, s.p95, s.max);
+  std::fputs(SummaryLine(label, std::move(values)).c_str(), stdout);
 }
 
 void PrintTable(const std::string& title,
@@ -192,6 +268,26 @@ Graph MakeGnm(const Args& args, NodeId def_n) {
   return ConnectedGnm(n, 4ull * n, args.seed);
 }
 
+std::vector<std::string> RunTasksOrDie(
+    const Args& args, std::size_t count, const exec::TaskFn& fn,
+    runtime::ThreadPool* pool,
+    const std::function<std::string(std::size_t)>& label) {
+  const auto executor = exec::MakeExecutor(args.MakeExecOptions(pool));
+  std::vector<std::string> results;
+  const exec::RunResult status = executor->Run(count, fn, &results);
+  if (!status.ok) {
+    if (status.task_known && label != nullptr) {
+      std::fprintf(stderr, "execution failed at %s: %s\n",
+                   label(status.failed_task).c_str(),
+                   status.error.c_str());
+    } else {
+      std::fprintf(stderr, "execution failed: %s\n", status.error.c_str());
+    }
+    std::exit(1);
+  }
+  return results;
+}
+
 std::vector<std::unique_ptr<api::RoutingScheme>> MakeSchemesOrDie(
     const std::vector<std::string>& names, const Graph& g, const Params& p) {
   auto schemes = api::MakeSchemes(names, g, p);
@@ -208,58 +304,118 @@ void RunThousandNodeComparison(const std::string& tag, const Graph& g,
                                const Args& args) {
   std::printf("\ntopology: n=%u, m=%zu\n", g.num_nodes(), g.num_edges());
   const Params p = args.MakeParams();
-  const auto schemes =
-      MakeSchemesOrDie(args.SchemesOr({"disco", "nddisco", "s4", "vrr",
-                                       "spf"}),
-                       g, p);
+  const std::vector<std::string> names =
+      args.SchemesOr({"disco", "nddisco", "s4", "vrr", "spf"});
 
-  // This sweep routes from every node and toward most landmarks, so the
-  // whole converged working set will be needed; bulk-compute it over the
-  // pool up front rather than faulting it in one route at a time.
-  for (const auto& scheme : schemes) scheme->PrewarmFor(scheme->AllNodes());
-
-  // --- State (left panels) ---
-  std::printf("\n[state: entries per node, CDF over nodes]\n");
-  std::vector<std::vector<double>> state;
-  for (const auto& scheme : schemes) state.push_back(scheme->CollectState());
-  for (std::size_t i = 0; i < schemes.size(); ++i) {
-    PrintCdf(schemes[i]->label(), state[i],
-             args.OutPath(tag + "_state_" + schemes[i]->name()));
+  // One executor task per scheme: each measures the three panels and
+  // returns the print-ready fragments plus TSV contents as a TextBundle —
+  // the parent process assembles them in panel order, so stdout and the
+  // files are byte-identical across backends and worker counts. On the
+  // in-process path the schemes are batch-built up front (MakeSchemes
+  // shares substructure, e.g. one Disco behind the disco/nddisco views);
+  // a worker process instead builds only the scheme its task names —
+  // that independence is what lets the procs backend spread schemes
+  // across workers. Both constructions are deterministic, so the numbers
+  // agree.
+  // Bundle parts: [0] state CDF line, [1] state summary line, [2] stretch
+  // CDF lines, [3] congestion CDF + summary lines.
+  const bool in_process =
+      args.backend == exec::Backend::kThreads && !exec::InWorkerMode();
+  std::vector<std::unique_ptr<api::RoutingScheme>> prebuilt;
+  if (in_process) {
+    prebuilt = MakeSchemesOrDie(names, g, p);
+    // The measurements route from every node and toward most landmarks,
+    // so the whole converged working set will be needed; bulk-compute it
+    // over the pool up front rather than faulting it in per route.
+    for (const auto& s : prebuilt) s->PrewarmFor(s->AllNodes());
   }
-  for (std::size_t i = 0; i < schemes.size(); ++i) {
-    PrintSummary(schemes[i]->label(), state[i]);
-  }
+  const exec::TaskFn task = [&](std::size_t i) {
+    std::unique_ptr<api::RoutingScheme> own;
+    if (!in_process) {
+      own = api::MakeScheme(names[i], g, p);
+      if (own == nullptr) {
+        throw std::runtime_error("unknown scheme \"" + names[i] + "\"");
+      }
+      own->PrewarmFor(own->AllNodes());
+    }
+    api::RoutingScheme* const scheme =
+        in_process ? prebuilt[i].get() : own.get();
+    exec::TextBundle bundle;
 
-  // --- Stretch (middle panels) ---
-  std::printf("\n[stretch: CDF over src-dest pairs]\n");
-  StretchOptions opt;
-  opt.num_pairs = args.SamplesOr(args.quick ? 300 : 2000);
-  opt.seed = args.seed;
-  const auto run_stretch = [&](const std::string& label, const RouteFn& fn) {
-    PrintCdf(label, SampleStretch(g, fn, opt),
-             args.OutPath(tag + "_stretch_" + label));
-  };
-  for (const auto& scheme : schemes) {
+    // Like PrintCdf, an empty sample prints "(no data)" and writes no
+    // file — a header-only TSV would read as a real (empty) curve.
+    const std::vector<double> state = scheme->CollectState();
+    bundle.parts.push_back(CdfLine(scheme->label(), state));
+    bundle.parts.push_back(SummaryLine(scheme->label(), state));
+    if (!state.empty()) {
+      bundle.files.emplace_back(
+          args.OutPath(tag + "_state_" + scheme->name()) + ".tsv",
+          CdfTsvContent(state));
+    }
+
+    StretchOptions opt;
+    opt.num_pairs = args.SamplesOr(args.quick ? 300 : 2000);
+    opt.seed = args.seed;
+    std::string stretch_text;
+    const auto add_stretch = [&](const std::string& label,
+                                 const RouteFn& fn) {
+      const std::vector<double> values = SampleStretch(g, fn, opt);
+      stretch_text += CdfLine(label, values);
+      if (!values.empty()) {
+        bundle.files.emplace_back(
+            args.OutPath(tag + "_stretch_" + label) + ".tsv",
+            CdfTsvContent(values));
+      }
+    };
     if (scheme->distinguishes_first_packet()) {
-      run_stretch(scheme->label() + "-First",
+      add_stretch(scheme->label() + "-First",
                   scheme->route_fn(api::Phase::kFirst));
-      run_stretch(scheme->label() + "-Later",
+      add_stretch(scheme->label() + "-Later",
                   scheme->route_fn(api::Phase::kLater));
     } else {
-      run_stretch(scheme->label(), scheme->route_fn(api::Phase::kLater));
+      add_stretch(scheme->label(), scheme->route_fn(api::Phase::kLater));
+    }
+    bundle.parts.push_back(stretch_text);
+
+    const auto counts =
+        CongestionCounts(g, scheme->route_fn(api::Phase::kLater), args.seed);
+    const std::vector<double> vals(counts.begin(), counts.end());
+    bundle.parts.push_back(CdfLine(scheme->label(), vals) +
+                           SummaryLine("  " + scheme->label(), vals));
+    if (!vals.empty()) {
+      bundle.files.emplace_back(
+          args.OutPath(tag + "_congestion_" + scheme->label()) + ".tsv",
+          CdfTsvContent(vals));
+    }
+    return bundle.Serialize();
+  };
+
+  const std::vector<std::string> raw = RunTasksOrDie(
+      args, names.size(), task, nullptr,
+      [&](std::size_t i) { return "scheme \"" + names[i] + "\""; });
+  std::vector<exec::TextBundle> bundles(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (!exec::TextBundle::Parse(raw[i], &bundles[i]) ||
+        bundles[i].parts.size() != 4) {
+      std::fprintf(stderr, "malformed result bundle for scheme %s\n",
+                   names[i].c_str());
+      std::exit(1);
     }
   }
 
-  // --- Congestion (right panels) ---
+  std::printf("\n[state: entries per node, CDF over nodes]\n");
+  for (const auto& b : bundles) std::fputs(b.parts[0].c_str(), stdout);
+  for (const auto& b : bundles) std::fputs(b.parts[1].c_str(), stdout);
+
+  std::printf("\n[stretch: CDF over src-dest pairs]\n");
+  for (const auto& b : bundles) std::fputs(b.parts[2].c_str(), stdout);
+
   std::printf("\n[congestion: routes crossing each edge, CDF over edges; "
               "one random destination per node]\n");
-  for (const auto& scheme : schemes) {
-    const auto counts =
-        CongestionCounts(g, scheme->route_fn(api::Phase::kLater), args.seed);
-    std::vector<double> vals(counts.begin(), counts.end());
-    PrintCdf(scheme->label(), vals,
-             args.OutPath(tag + "_congestion_" + scheme->label()));
-    PrintSummary("  " + scheme->label(), vals);
+  for (const auto& b : bundles) std::fputs(b.parts[3].c_str(), stdout);
+
+  for (const auto& b : bundles) {
+    for (const auto& [name, content] : b.files) WriteFile(name, content);
   }
 }
 

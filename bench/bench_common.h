@@ -6,8 +6,14 @@
 // directory, and states the paper's qualitative expectation so the output
 // is self-interpreting. Protocols are selected by name through the
 // RoutingScheme registry (src/api/), so every bench accepts the same
-// --schemes=disco,s4,... flag. Common flags (unknown flags fail with a
-// usage message):
+// --schemes=disco,s4,... flag. Multi-task fan-outs (disco_sweep's cells,
+// fig04/fig05's per-scheme comparison blocks, fig09's per-size trials)
+// run through the exec::Executor layer selected by --backend=threads|procs
+// and --workers=<k>, with output byte-identical across backends; the
+// flags are part of the common harness, but a bench whose work is one
+// sequential experiment has no fan-out for the procs backend to
+// distribute and runs in-process regardless. Common flags (unknown flags
+// fail with a usage message):
 //   --n=<int>        override the default topology size
 //   --seed=<int>     change the experiment seed (default 1)
 //   --samples=<int>  override the number of sampled pairs/nodes
@@ -15,17 +21,22 @@
 //   --out=<dir>      directory for TSV output (default: working directory)
 //   --threads=<k>    thread-pool width (default: DISCO_THREADS env, else
 //                    hardware concurrency)
+//   --backend=<b>    execution backend: threads (in-process, default) or
+//                    procs (worker subprocesses; see src/exec/)
+//   --workers=<k>    subprocess count for --backend=procs
 //   --full           run at the paper's full scale (larger and slower)
 //   --quick          shrink everything (used by CI smoke runs)
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "api/registry.h"
 #include "api/routing_scheme.h"
+#include "exec/executor.h"
 #include "graph/graph.h"
 #include "runtime/parallel_for.h"
 #include "util/stats.h"
@@ -48,6 +59,13 @@ struct Args {
   /// Scheme names from --schemes=, validated against the registry; empty
   /// means the per-bench default set.
   std::vector<std::string> schemes;
+  /// Execution backend for the bench's big fan-outs (--backend=).
+  exec::Backend backend = exec::Backend::kThreads;
+  /// Worker subprocess count for the procs backend (--workers=, 0 = auto).
+  std::size_t workers = 0;
+  /// This process's argv, verbatim — the procs backend re-invokes it (plus
+  /// --worker=<job>) to create workers.
+  std::vector<std::string> raw_argv;
 
   /// Hook for bench-specific flags: returns true if it consumed `arg`.
   using ExtraFlag = std::function<bool(const std::string& arg)>;
@@ -67,6 +85,11 @@ struct Args {
     return p;
   }
 
+  /// Executor configuration for this run; `pool` bounds task-level
+  /// concurrency on the thread backend (see exec::ExecOptions::pool).
+  exec::ExecOptions MakeExecOptions(runtime::ThreadPool* pool = nullptr)
+      const;
+
   NodeId NOr(NodeId def) const { return n != 0 ? n : def; }
   std::size_t SamplesOr(std::size_t def) const {
     return samples != 0 ? samples : def;
@@ -81,6 +104,19 @@ struct Args {
 
 /// Prints a banner naming the figure and the paper's expectation.
 void Banner(const std::string& figure, const std::string& expectation);
+
+/// One CDF rendered as a fixed set of quantiles (the line PrintCdf prints,
+/// with trailing newline) — task code builds output text with this so the
+/// executor's parent process can print it verbatim.
+std::string CdfLine(const std::string& label, std::vector<double> values);
+
+/// The "label: count=… mean=… p50=… p95=… max=…" line (with trailing
+/// newline) PrintSummary prints.
+std::string SummaryLine(const std::string& label,
+                        std::vector<double> values);
+
+/// The TSV content PrintCdf writes for a curve.
+std::string CdfTsvContent(std::vector<double> values);
 
 /// Prints one CDF as a fixed set of quantiles (two aligned columns), and
 /// appends the full curve to `<file>.tsv` when `file` is non-empty.
@@ -105,21 +141,37 @@ Graph MakeRouterLevel(const Args& args);   // paper: 192,244 (default 32,768)
 Graph MakeGeometric(const Args& args, NodeId def_n);  // latency-annotated
 Graph MakeGnm(const Args& args, NodeId def_n);        // avg degree 8
 
-/// Multi-trial dispatch: runs trials 0..count-1 over the runtime thread
-/// pool and returns their results in trial order. Trials must be
-/// independent (build their own graphs/protocols from the trial index) and
-/// must not print — return the printable result instead, so stdout and TSV
-/// output stay byte-identical for any DISCO_THREADS. Pass a `pool` (e.g. a
-/// ThreadPool(1)) to bound trial-level concurrency when each trial holds
-/// a large working set; nested fan-outs inside a trial still use the
-/// shared pool.
+/// Runs `count` tasks through the executor selected by --backend/--workers
+/// and returns the raw result strings in task order. On execution failure
+/// (a task out of retries, the worker pool lost) prints the error — via
+/// `label` when given, so the message names the failing cell, not just an
+/// index — and exits non-zero. `pool` bounds task-level concurrency on the
+/// thread backend.
+std::vector<std::string> RunTasksOrDie(
+    const Args& args, std::size_t count, const exec::TaskFn& fn,
+    runtime::ThreadPool* pool = nullptr,
+    const std::function<std::string(std::size_t)>& label = nullptr);
+
+/// Multi-trial dispatch through the executor: runs trials 0..count-1 on
+/// the selected backend and returns their results in trial order. Trials
+/// must be independent pure functions of (argv, trial index) and must not
+/// print — on the procs backend they execute in worker subprocesses, so
+/// results travel through encode/decode (use exec/wire.h; doubles must be
+/// wire-encoded, never printf'd, to stay byte-exact). Pass a `pool` (e.g.
+/// a ThreadPool(1)) to bound trial-level concurrency on the thread backend
+/// when each trial holds a large working set; nested fan-outs inside a
+/// trial still use the shared pool.
 template <typename R>
-std::vector<R> RunTrials(std::size_t count,
+std::vector<R> RunTrials(const Args& args, std::size_t count,
                          const std::function<R(std::size_t)>& trial,
+                         const std::function<std::string(const R&)>& encode,
+                         const std::function<R(const std::string&)>& decode,
                          runtime::ThreadPool* pool = nullptr) {
-  std::vector<R> results(count);
-  runtime::ParallelForTasks(
-      count, [&](std::size_t i) { results[i] = trial(i); }, pool);
+  const std::vector<std::string> raw = RunTasksOrDie(
+      args, count, [&](std::size_t i) { return encode(trial(i)); }, pool);
+  std::vector<R> results;
+  results.reserve(count);
+  for (const std::string& bytes : raw) results.push_back(decode(bytes));
   return results;
 }
 
@@ -131,7 +183,8 @@ std::vector<std::unique_ptr<api::RoutingScheme>> MakeSchemesOrDie(
 /// The full Fig. 4 / Fig. 5 comparison on a ~1,024-node topology for every
 /// selected scheme (default: the five built-ins): state CDFs over nodes,
 /// stretch CDFs over sampled pairs (first/later rows where the scheme
-/// distinguishes them), and congestion CDFs over edges.
+/// distinguishes them), and congestion CDFs over edges. Each scheme is one
+/// executor task, so --backend=procs spreads schemes across workers.
 /// `tag` prefixes the TSV output files.
 void RunThousandNodeComparison(const std::string& tag, const Graph& g,
                                const Args& args);

@@ -1,18 +1,24 @@
 // disco_sweep — sharded multi-graph experiment sweeps over the scheme
 // registry (the ROADMAP driver). Expands a (topology × n × seed × scheme)
-// grid, runs this process's shard of it over the thread pool, and writes
-// one TSV per shard; a final --merge pass combines the shards into a
-// single deterministic table.
+// grid, runs this process's share of it through the exec::Executor layer,
+// and writes one TSV per shard; a final --merge pass combines the shards
+// into a single deterministic table.
 //
-// Single process:
+// Single process, one machine:
 //   $ disco_sweep --out=results            # whole grid -> results/sweep.tsv
 //
-// Four processes (or machines sharing a filesystem), then merge:
+// One machine, a supervised worker-process pool (failed workers retried,
+// stragglers re-dispatched — see src/exec/executor.h):
+//   $ disco_sweep --backend=procs --workers=4 --out=results
+//
+// Several machines sharing a filesystem, then merge:
 //   $ disco_sweep --shard=0/4 --out=results   # ... one per shard index ...
 //   $ disco_sweep --shard=3/4 --out=results
 //   $ disco_sweep --merge --out=results       # -> results/sweep.tsv
+// (--shard and --backend=procs compose: each shard process can drive its
+// own worker pool.)
 //
-// The merged table is byte-identical however the grid was sharded: cells
+// The merged table is byte-identical however the grid was split: cells
 // are self-contained (each builds its own graph and converged scheme from
 // topology, n, and seed) and indexed by a pure function of the grid spec.
 #include "bench_common.h"
@@ -226,13 +232,31 @@ int Main(int argc, char** argv) {
               spec.seeds.size(), spec.schemes.size(), shard, num_shards,
               cells.size());
 
-  // Large cells already saturate the pool from the inside; overlapping
-  // whole cells is only a win when each one is small (fig09's policy).
+  // Each cell is one executor task: on the thread backend they overlap in
+  // process (large cells already saturate the pool from the inside, so
+  // those run one at a time — fig09's policy); on the procs backend they
+  // stream to the worker pool, which retries cells whose worker died and
+  // re-dispatches stragglers. Either way rows come back in cell order, so
+  // the shard file is byte-identical across backends and worker counts.
   NodeId max_n = 0;
   for (const NodeId n : spec.sizes) max_n = std::max(max_n, n);
   runtime::ThreadPool serial_trials(1);
-  const std::string rows = api::RunSweepCells(
-      cells, spec, max_n <= 4096 ? nullptr : &serial_trials);
+  const std::vector<std::string> row_list = RunTasksOrDie(
+      args, cells.size(),
+      [&](std::size_t i) { return api::RunSweepCell(cells[i], spec); },
+      max_n <= 4096 ? nullptr : &serial_trials,
+      [&](std::size_t i) {
+        const api::SweepCell& c = cells[i];
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "cell %zu (topology=%s n=%u seed=%llu scheme=%s)",
+                      c.index, c.topology.c_str(), c.n,
+                      static_cast<unsigned long long>(c.seed),
+                      c.scheme.c_str());
+        return std::string(buf);
+      });
+  std::string rows;
+  for (const std::string& row : row_list) rows += row;
 
   const std::string shard_content =
       api::SweepSignature(spec) + api::SweepHeader() + rows;

@@ -12,6 +12,7 @@
 #include <cctype>
 #include <cstdio>
 
+#include "exec/wire.h"
 #include "graph/generators.h"
 #include "sim/metrics.h"
 
@@ -76,21 +77,50 @@ int Main(int argc, char** argv) {
   for (const std::string& c : columns) std::printf(" %-12s", c.c_str());
   std::printf("\n");
 
-  // Each size is one independent trial dispatched over the thread pool
-  // (and each trial's own construction/sampling fan-outs nest inside it);
-  // results are printed in size order afterwards, so stdout and the TSV
-  // are byte-identical no matter how many threads ran. Large sweeps run
-  // trials one at a time — concurrent trials each hold a full graph plus
-  // two prewarmed tree caches, and the inner fan-outs already saturate the
-  // cores — while small (--quick) sweeps overlap whole trials too.
+  // Each size is one independent executor trial (--backend selects
+  // in-process threads or worker subprocesses; each trial's own
+  // construction/sampling fan-outs nest inside it either way); results are
+  // printed in size order afterwards, so stdout and the TSV are
+  // byte-identical no matter how many threads or workers ran. On the
+  // thread backend, large sweeps run trials one at a time — concurrent
+  // trials each hold a full graph plus two prewarmed tree caches, and the
+  // inner fan-outs already saturate the cores — while small (--quick)
+  // sweeps overlap whole trials too. Rows cross process boundaries
+  // wire-encoded (doubles as bit patterns), never through text.
   struct Row {
     NodeId n = 0;
     std::vector<double> values;  // stretch means, then state means
   };
+  const auto encode_row = [](const Row& row) {
+    std::string out;
+    exec::PutU64(&out, row.n);
+    exec::PutU64(&out, row.values.size());
+    for (const double v : row.values) exec::PutDouble(&out, v);
+    return out;
+  };
+  const auto decode_row = [](const std::string& bytes) {
+    exec::WireReader r(bytes);
+    std::uint64_t n = 0, count = 0;
+    Row row;
+    bool ok = r.GetU64(&n) && r.GetU64(&count) && count <= bytes.size() / 8;
+    if (ok) {
+      row.n = static_cast<NodeId>(n);
+      row.values.resize(static_cast<std::size_t>(count));
+      for (double& v : row.values) ok = r.GetDouble(&v) && ok;
+    }
+    if (!ok) {
+      // A malformed result must never become a silent zero-filled row in
+      // the published table.
+      std::fprintf(stderr, "fig09: malformed trial result (%zu bytes)\n",
+                   bytes.size());
+      std::exit(1);
+    }
+    return row;
+  };
   runtime::ThreadPool serial_trials(1);
   const bool overlap_trials = sizes.back() <= 4096;
   const std::vector<Row> rows = RunTrials<Row>(
-      sizes.size(),
+      args, sizes.size(),
       [&](std::size_t trial) {
         const Graph g = ConnectedGeometric(sizes[trial], 8.0, args.seed);
         const Params p = args.MakeParams();
@@ -132,7 +162,7 @@ int Main(int argc, char** argv) {
         }
         return row;
       },
-      overlap_trials ? nullptr : &serial_trials);
+      encode_row, decode_row, overlap_trials ? nullptr : &serial_trials);
 
   std::string tsv = "n";
   for (const std::string& key : tsv_keys) tsv += "\t" + key;

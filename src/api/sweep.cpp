@@ -152,6 +152,46 @@ std::string ShardFileName(std::size_t shard, std::size_t num_shards) {
   return buf;
 }
 
+namespace {
+
+// Explains how two "#spec" fingerprint lines differ, naming the first
+// mismatching field ("schemes=s4,disco" vs "schemes=disco,s4" is an
+// ordering mismatch in `schemes`, not an anonymous "spec differs") so a
+// refused merge tells the operator which knob — or which list order — to
+// fix. Inputs include the trailing newline; either may be empty (unsigned
+// shard).
+std::string DescribeSignatureMismatch(const std::string& reference,
+                                      const std::string& other) {
+  if (reference.empty() != other.empty()) {
+    return other.empty() ? "it has no #spec line but shard 0 has one"
+                         : "it has a #spec line but shard 0 has none";
+  }
+  const auto fields = [](const std::string& line) {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+      std::size_t end = line.find_first_of(" \n", pos);
+      if (end == std::string::npos) end = line.size();
+      if (end > pos) out.push_back(line.substr(pos, end - pos));
+      pos = end + 1;
+    }
+    return out;
+  };
+  const std::vector<std::string> a = fields(reference), b = fields(other);
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    if (a[i] == b[i]) continue;
+    const std::size_t eq = a[i].find('=');
+    const std::string name =
+        eq != std::string::npos ? a[i].substr(0, eq) : a[i];
+    return "field \"" + name + "\" differs (shard 0: " + a[i] +
+           ", this shard: " + b[i] + ")";
+  }
+  return a.size() != b.size() ? "fingerprints have different field counts"
+                              : "fingerprints differ";
+}
+
+}  // namespace
+
 std::string MergeShardContents(const std::vector<std::string>& shards,
                                std::string* error) {
   const std::string header = SweepHeader();
@@ -206,7 +246,8 @@ std::string MergeShardContents(const std::vector<std::string>& shards,
     } else if (my_signature != signature) {
       if (error) *error = "shard " + std::to_string(si) +
                           ": #spec fingerprint differs from shard 0 "
-                          "(shards come from different sweeps)";
+                          "(shards come from different sweeps): " +
+                          DescribeSignatureMismatch(signature, my_signature);
       return "";
     }
   }

@@ -98,7 +98,9 @@ std::string ShardFileName(std::size_t shard, std::size_t num_shards);
 /// each index 0..N-1 present exactly once, signature (when present)
 /// identical across shards and reproduced in the output. On any
 /// inconsistency (bad header, mismatched signatures, duplicate or missing
-/// cell) returns an empty string and sets *error.
+/// cell) returns an empty string and sets *error; a fingerprint mismatch
+/// names the first differing field (e.g. a reordered `schemes=` list),
+/// not just "spec differs".
 std::string MergeShardContents(const std::vector<std::string>& shards,
                                std::string* error);
 

@@ -1,0 +1,37 @@
+// Shared between executor.cpp (job numbering, thread backend) and
+// process_executor.cpp (process pool, worker serve loop). Not part of the
+// public exec API.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "exec/executor.h"
+
+namespace disco::exec::internal {
+
+/// Consumes the next process-wide Run-call number. Every Executor::Run
+/// implementation claims exactly one, so driver and worker processes —
+/// which execute the same deterministic sequence of Run calls — agree on
+/// which call each job number names.
+std::size_t ClaimJobNumber();
+
+/// The job this worker process was told to serve (--worker=<job>).
+std::size_t WorkerJob();
+
+/// In-process task evaluation over the runtime pool; the body of the
+/// thread backend, also used by workers to locally evaluate fan-outs that
+/// precede their assigned job.
+RunResult RunInProcess(std::size_t count, const TaskFn& fn,
+                       std::vector<std::string>* results,
+                       runtime::ThreadPool* pool);
+
+}  // namespace disco::exec::internal
+
+namespace disco::exec {
+
+std::unique_ptr<Executor> MakeProcessExecutor(const ExecOptions& opts);
+std::unique_ptr<Executor> MakeWorkerServer(const ExecOptions& opts);
+
+}  // namespace disco::exec

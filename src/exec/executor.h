@@ -1,0 +1,129 @@
+// Unified execution layer for the experiment harness.
+//
+// Every large run in this repository — sweep grids, figure benches,
+// multi-trial scaling curves — is a fan-out of independent tasks where
+// task i is a pure function of (argv, i) and returns a byte string (a TSV
+// row, a serialized exec::TextBundle, a wire-encoded struct). An Executor
+// runs such a fan-out and hands the results back in task order, so the
+// caller's output is byte-identical no matter which backend executed it:
+//
+//   kThreads  in-process, over the runtime ThreadPool (parallel_for.h).
+//   kProcs    a process pool: the current binary is re-invoked with
+//             --worker=<job> appended to its own argv, task indices are
+//             streamed to workers over pipes, and result frames stream
+//             back. Failed tasks are retried on surviving workers (a
+//             SIGKILLed worker's in-flight task is rescheduled), and
+//             tasks still running past a deadline are speculatively
+//             re-dispatched to idle workers — first result wins.
+//
+// The worker contract: a worker process parses the same argv as its
+// parent, follows the same code path, and therefore reaches the same
+// sequence of Executor::Run calls. Run calls are numbered per process;
+// the worker serves the call whose number matches its --worker=<job> flag
+// (earlier calls run in-process so any state derived from them exists),
+// then exits. This is what lets one binary be both driver and worker with
+// no separate task-description format: the task function itself is
+// reconstructed from argv. Consequently the sequence of Run calls a
+// binary makes must be deterministic given argv.
+//
+// Worker wire protocol (see process_executor.cpp):
+//   parent -> worker (stdin):  "T <index>\n"  run task <index>
+//                              EOF            exit cleanly
+//   worker -> parent (fd 3):   "R <index> <len>\n" + <len> payload bytes
+//                              "E <index> <len>\n" + <len> error message
+// Worker stdout is redirected to /dev/null (stray prints can't corrupt
+// the frame stream); stderr is inherited for diagnostics.
+//
+// Env knobs (read when the matching ExecOptions field is left at -1):
+//   DISCO_EXEC_RETRIES       re-runs allowed per task after its first
+//                            failure (default 2, i.e. up to 3 attempts)
+//   DISCO_EXEC_STRAGGLER_MS  deadline after which a running task is
+//                            speculatively duplicated onto an idle
+//                            worker (default 0 = disabled)
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace disco::exec {
+
+/// Task i must be a pure function of the process's argv and i: the process
+/// backend evaluates it in a different process, possibly more than once.
+using TaskFn = std::function<std::string(std::size_t)>;
+
+enum class Backend { kThreads, kProcs };
+
+/// Parses "threads" / "procs"; returns false for anything else.
+bool ParseBackend(const std::string& name, Backend* out);
+
+struct ExecOptions {
+  Backend backend = Backend::kThreads;
+  /// Process backend: number of worker subprocesses (0 = the runtime's
+  /// DefaultThreadCount()). Ignored by the thread backend, which sizes
+  /// itself from the pool.
+  std::size_t workers = 0;
+  /// Re-runs allowed per task after its first failure; -1 reads
+  /// DISCO_EXEC_RETRIES (default 2). Process backend only.
+  int max_retries = -1;
+  /// Straggler deadline in milliseconds; -1 reads DISCO_EXEC_STRAGGLER_MS
+  /// (default 0 = never duplicate). Process backend only.
+  int straggler_ms = -1;
+  /// The command the process backend re-invokes for workers — normally
+  /// this process's own argv, verbatim. "--worker=<job>" is appended.
+  std::vector<std::string> worker_argv;
+  /// Thread backend: bounds task-level concurrency (e.g. a ThreadPool(1)
+  /// serializes whole tasks while their inner fan-outs still use the
+  /// shared pool). nullptr = the shared pool.
+  runtime::ThreadPool* pool = nullptr;
+};
+
+struct RunResult {
+  bool ok = true;
+  std::size_t failed_task = 0;  // meaningful when !ok and task_known
+  bool task_known = false;
+  std::string error;
+};
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Runs tasks 0..count-1 and fills (*results)[i] with fn(i)'s bytes, in
+  /// task order. On failure returns ok=false with the offending task (when
+  /// attributable) and a message; results are then unspecified.
+  ///
+  /// Every Run call consumes one process-wide job number (all backends),
+  /// keeping driver and worker numbering aligned — see the worker
+  /// contract above.
+  virtual RunResult Run(std::size_t count, const TaskFn& fn,
+                        std::vector<std::string>* results) = 0;
+};
+
+/// Builds the backend selected by `opts`. In a process already running in
+/// worker mode (--worker=<job> was parsed), the returned executor serves
+/// its assigned job instead of scheduling — callers need no special case.
+std::unique_ptr<Executor> MakeExecutor(const ExecOptions& opts);
+
+/// Marks this process as worker <job> of its parent driver. Called by the
+/// arg parser when it sees --worker=<job>; results are written to fd 3.
+void EnterWorkerMode(std::size_t job);
+bool InWorkerMode();
+
+/// The flag appended to worker_argv: "--worker=<job>".
+std::string WorkerFlag(std::size_t job);
+
+/// Effective knob values (field if >= 0, else env, else default).
+int EffectiveMaxRetries(int field);
+int EffectiveStragglerMs(int field);
+
+/// Resets the process-wide Run-call counter (and worker mode). Tests only:
+/// lets a test harness that issues Run calls in a nondeterministic order
+/// pin the job number its helper workers will be asked to serve.
+void ResetJobNumberingForTest();
+
+}  // namespace disco::exec

@@ -1,0 +1,505 @@
+// Multi-process executor backend: a pool of worker subprocesses created by
+// re-invoking this binary with "--worker=<job>" appended to its own argv.
+//
+// Driver side (ProcessExecutor): spawns k workers, streams task indices to
+// them over per-worker pipes, and collects framed results. Scheduling is
+// demand-driven — a worker gets its next task the moment its previous
+// frame arrives — so the pool load-balances uneven cells automatically.
+// Failure policy:
+//   - a worker that exits (crash, SIGKILL, clean death) has its in-flight
+//     task rescheduled onto a surviving worker; the dead worker is not
+//     respawned, so capacity degrades gracefully until none remain;
+//   - a task that reports an error ("E" frame) is retried elsewhere, up to
+//     max_retries re-runs, after which Run fails naming the task;
+//   - with straggler_ms > 0, a task still running past the deadline is
+//     speculatively duplicated onto an idle worker (at most two copies);
+//     the first result wins and the loser is ignored. Tasks are pure
+//     functions of (argv, index), so both copies produce identical bytes.
+//
+// Worker side (WorkerServer): claims Run-call job numbers like any other
+// backend; calls before the assigned job evaluate in-process (their
+// results may feed the assigned job's task function), the assigned job
+// reads "T <index>" lines from stdin, answers with "R"/"E" frames on fd 3,
+// and exits on stdin EOF. Stdout points at /dev/null — stray prints from
+// bench code cannot corrupt the frame stream.
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "exec/exec_internal.h"
+
+extern char** environ;
+
+namespace disco::exec {
+namespace {
+
+constexpr int kResultFd = 3;  // worker-side frame stream, by convention
+
+// ------------------------------------------------------------- worker side
+
+bool WriteAll(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool WriteFrame(int fd, char type, std::size_t index,
+                const std::string& payload) {
+  char header[64];
+  const int hn = std::snprintf(header, sizeof header, "%c %zu %zu\n", type,
+                               index, payload.size());
+  return WriteAll(fd, header, static_cast<std::size_t>(hn)) &&
+         WriteAll(fd, payload.data(), payload.size());
+}
+
+[[noreturn]] void ServeTasks(std::size_t count, const TaskFn& fn) {
+  std::string buf;
+  char chunk[4096];
+  for (;;) {
+    std::size_t pos;
+    while ((pos = buf.find('\n')) != std::string::npos) {
+      const std::string line = buf.substr(0, pos);
+      buf.erase(0, pos + 1);
+      if (line.empty()) continue;
+      unsigned long long index = 0;
+      bool valid = line.size() > 2 && line[0] == 'T' && line[1] == ' ';
+      if (valid) {
+        char* end = nullptr;
+        index = std::strtoull(line.c_str() + 2, &end, 10);
+        valid = end != line.c_str() + 2 && *end == '\0' && index < count;
+      }
+      if (!valid) {
+        if (!WriteFrame(kResultFd, 'E', static_cast<std::size_t>(index),
+                        "bad task request: " + line)) {
+          std::exit(1);
+        }
+        continue;
+      }
+      std::string payload;
+      char type = 'R';
+      try {
+        payload = fn(static_cast<std::size_t>(index));
+      } catch (const std::exception& e) {
+        type = 'E';
+        payload = e.what();
+      } catch (...) {
+        type = 'E';
+        payload = "non-std exception";
+      }
+      if (!WriteFrame(kResultFd, type, static_cast<std::size_t>(index),
+                      payload)) {
+        std::exit(1);  // driver went away
+      }
+    }
+    const ssize_t n = ::read(0, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // driver closed our stdin: done
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  std::exit(0);
+}
+
+class WorkerServer : public Executor {
+ public:
+  explicit WorkerServer(const ExecOptions& opts) : pool_(opts.pool) {}
+
+  RunResult Run(std::size_t count, const TaskFn& fn,
+                std::vector<std::string>* results) override {
+    const std::size_t job = internal::ClaimJobNumber();
+    if (job != internal::WorkerJob()) {
+      // A fan-out preceding the one we were spawned for: evaluate it
+      // locally so state derived from its results exists when the
+      // assigned job's task function is built.
+      return internal::RunInProcess(count, fn, results, pool_);
+    }
+    ServeTasks(count, fn);
+  }
+
+ private:
+  runtime::ThreadPool* pool_;
+};
+
+// ------------------------------------------------------------- driver side
+
+using Clock = std::chrono::steady_clock;
+
+struct TaskState {
+  bool done = false;
+  int failures = 0;  // failed attempts so far (crashes and E frames)
+  int inflight = 0;  // copies currently running (straggler duplication)
+};
+
+struct Worker {
+  pid_t pid = -1;
+  int task_fd = -1;    // driver writes "T <index>\n"
+  int result_fd = -1;  // driver reads frames
+  std::string buf;
+  long long task = -1;  // index in flight, -1 when idle
+  Clock::time_point since;
+  bool alive = false;
+};
+
+class ProcessExecutor : public Executor {
+ public:
+  explicit ProcessExecutor(const ExecOptions& opts)
+      : worker_argv_(opts.worker_argv),
+        num_workers_(opts.workers != 0 ? opts.workers
+                                       : runtime::DefaultThreadCount()),
+        max_retries_(EffectiveMaxRetries(opts.max_retries)),
+        straggler_ms_(EffectiveStragglerMs(opts.straggler_ms)) {}
+
+  RunResult Run(std::size_t count, const TaskFn& fn,
+                std::vector<std::string>* results) override;
+
+ private:
+  RunResult Fail(std::vector<Worker>* workers, std::size_t task,
+                 bool task_known, std::string message);
+  bool Spawn(std::size_t job, std::size_t job_workers, Worker* out,
+             std::string* error);
+  void Dispatch(Worker* w, std::size_t task, std::vector<TaskState>* tasks);
+  void ReapWorker(Worker* w);
+
+  const std::vector<std::string> worker_argv_;
+  const std::size_t num_workers_;
+  const int max_retries_;
+  const int straggler_ms_;
+};
+
+// Closes fds and collects the exit status; safe on already-dead workers.
+void ProcessExecutor::ReapWorker(Worker* w) {
+  if (w->task_fd >= 0) ::close(w->task_fd);
+  if (w->result_fd >= 0) ::close(w->result_fd);
+  w->task_fd = w->result_fd = -1;
+  if (w->pid > 0) {
+    int status = 0;
+    ::waitpid(w->pid, &status, 0);
+    w->pid = -1;
+  }
+  w->alive = false;
+}
+
+RunResult ProcessExecutor::Fail(std::vector<Worker>* workers,
+                                std::size_t task, bool task_known,
+                                std::string message) {
+  for (Worker& w : *workers) {
+    if (w.pid > 0) ::kill(w.pid, SIGKILL);
+    ReapWorker(&w);
+  }
+  RunResult r;
+  r.ok = false;
+  r.failed_task = task;
+  r.task_known = task_known;
+  r.error = std::move(message);
+  return r;
+}
+
+bool ProcessExecutor::Spawn(std::size_t job, std::size_t job_workers,
+                            Worker* out, std::string* error) {
+  // Everything the child needs is prepared before fork(): the parent may
+  // have pool threads running, so the child must restrict itself to
+  // async-signal-safe calls (dup2/fcntl/execve/_exit) until exec.
+  std::vector<std::string> argv_strings = worker_argv_;
+  argv_strings.push_back(WorkerFlag(job));
+  std::vector<char*> argv;
+  argv.reserve(argv_strings.size() + 1);
+  for (std::string& s : argv_strings) argv.push_back(s.data());
+  argv.push_back(nullptr);
+
+  // Split the machine between workers: each gets an equal slice of the
+  // default thread budget unless the caller pinned DISCO_THREADS/--threads
+  // explicitly (an explicit --threads in worker_argv overrides the env in
+  // the worker's own flag parsing).
+  const std::size_t per_worker =
+      std::max<std::size_t>(1, runtime::DefaultThreadCount() / job_workers);
+  const std::string threads_var =
+      "DISCO_THREADS=" + std::to_string(per_worker);
+  std::vector<char*> envp;
+  for (char** e = environ; *e != nullptr; ++e) {
+    if (std::strncmp(*e, "DISCO_THREADS=", 14) == 0) continue;
+    envp.push_back(*e);
+  }
+  envp.push_back(const_cast<char*>(threads_var.c_str()));
+  envp.push_back(nullptr);
+
+  int task_pipe[2], result_pipe[2];
+  if (::pipe2(task_pipe, O_CLOEXEC) != 0) {
+    *error = std::string("pipe2: ") + std::strerror(errno);
+    return false;
+  }
+  if (::pipe2(result_pipe, O_CLOEXEC) != 0) {
+    *error = std::string("pipe2: ") + std::strerror(errno);
+    ::close(task_pipe[0]);
+    ::close(task_pipe[1]);
+    return false;
+  }
+  const int devnull = ::open("/dev/null", O_WRONLY | O_CLOEXEC);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    *error = std::string("fork: ") + std::strerror(errno);
+    ::close(task_pipe[0]);
+    ::close(task_pipe[1]);
+    ::close(result_pipe[0]);
+    ::close(result_pipe[1]);
+    if (devnull >= 0) ::close(devnull);
+    return false;
+  }
+  if (pid == 0) {
+    // Child. dup2 clears O_CLOEXEC on the target fd; every original pipe
+    // end still carries it and vanishes at exec. When a pipe end already
+    // landed on its target fd (pipe2 hands out the lowest free fd, so a
+    // driver launched with stdin/stdout closed gets task_pipe[0] == 0),
+    // dup2 would be a no-op that leaves O_CLOEXEC set and the fd would
+    // vanish at exec — clear the flag in place instead.
+    const auto install = [](int from, int to) {
+      if (from == to) {
+        ::fcntl(to, F_SETFD, 0);
+      } else {
+        ::dup2(from, to);
+      }
+    };
+    install(task_pipe[0], 0);
+    if (devnull >= 0) install(devnull, 1);
+    install(result_pipe[1], kResultFd);
+    ::execvpe(argv[0], argv.data(), envp.data());
+    _exit(127);
+  }
+  ::close(task_pipe[0]);
+  ::close(result_pipe[1]);
+  if (devnull >= 0) ::close(devnull);
+
+  out->pid = pid;
+  out->task_fd = task_pipe[1];
+  out->result_fd = result_pipe[0];
+  out->task = -1;
+  out->alive = true;
+  return true;
+}
+
+void ProcessExecutor::Dispatch(Worker* w, std::size_t task,
+                               std::vector<TaskState>* tasks) {
+  const std::string msg = "T " + std::to_string(task) + "\n";
+  w->task = static_cast<long long>(task);
+  w->since = Clock::now();
+  (*tasks)[task].inflight++;
+  if (!WriteAll(w->task_fd, msg.data(), msg.size())) {
+    // Worker already gone (EPIPE); the poll loop's EOF handling will
+    // requeue the task and reap the process.
+  }
+}
+
+RunResult ProcessExecutor::Run(std::size_t count, const TaskFn& fn,
+                               std::vector<std::string>* results) {
+  (void)fn;  // tasks are evaluated in worker processes, never here
+  const std::size_t job = internal::ClaimJobNumber();
+  results->assign(count, std::string());
+  if (count == 0) return RunResult{};
+
+  // A dead worker's write end must raise EPIPE, not a process-killing
+  // SIGPIPE — but only while this Run is scheduling. The previous
+  // disposition comes back on every return path, so driver code keeps its
+  // normal die-on-closed-stdout behavior outside the scheduler.
+  struct SigpipeGuard {
+    void (*previous)(int);
+    SigpipeGuard() : previous(std::signal(SIGPIPE, SIG_IGN)) {}
+    ~SigpipeGuard() { std::signal(SIGPIPE, previous); }
+  } sigpipe_guard;
+
+  const std::size_t job_workers = std::min(num_workers_, count);
+  std::vector<Worker> workers(job_workers);
+  std::string spawn_error;
+  for (std::size_t i = 0; i < job_workers; ++i) {
+    if (!Spawn(job, job_workers, &workers[i], &spawn_error)) {
+      return Fail(&workers, 0, false,
+                  "cannot spawn worker: " + spawn_error);
+    }
+  }
+
+  std::vector<TaskState> tasks(count);
+  std::deque<std::size_t> pending;
+  for (std::size_t i = 0; i < count; ++i) pending.push_back(i);
+  std::size_t done_count = 0;
+
+  // Requeues (or finally fails) a task whose attempt just died. Returns
+  // false when retries are exhausted; *message then names the failure.
+  const auto attempt_failed = [&](std::size_t task, const std::string& why,
+                                  std::string* message) {
+    if (tasks[task].done) return true;  // a duplicate already finished it
+    if (++tasks[task].failures > max_retries_) {
+      *message = "task " + std::to_string(task) + " failed after " +
+                 std::to_string(tasks[task].failures) + " attempt(s): " +
+                 why;
+      return false;
+    }
+    if (tasks[task].inflight == 0) pending.push_back(task);
+    return true;
+  };
+
+  const auto handle_frame = [&](Worker* w, char type, std::size_t index,
+                                std::string payload, std::string* message) {
+    w->task = -1;
+    if (index >= count) {
+      *message = "worker sent a frame for out-of-range task " +
+                 std::to_string(index);
+      return false;
+    }
+    tasks[index].inflight--;
+    if (type == 'R') {
+      if (!tasks[index].done) {
+        tasks[index].done = true;
+        (*results)[index] = std::move(payload);
+        ++done_count;
+      }
+      return true;
+    }
+    return attempt_failed(index, payload, message);
+  };
+
+  std::string message;
+  std::size_t failed_task = 0;
+  while (done_count < count) {
+    // Demand-driven dispatch: pending tasks first, then — past the
+    // straggler deadline — a speculative duplicate of the slowest
+    // single-copy task.
+    for (Worker& w : workers) {
+      if (!w.alive || w.task >= 0) continue;
+      if (!pending.empty()) {
+        const std::size_t task = pending.front();
+        pending.pop_front();
+        if (tasks[task].done) continue;
+        Dispatch(&w, task, &tasks);
+      } else if (straggler_ms_ > 0) {
+        Worker* slowest = nullptr;
+        for (Worker& other : workers) {
+          if (!other.alive || other.task < 0) continue;
+          const std::size_t t = static_cast<std::size_t>(other.task);
+          if (tasks[t].done || tasks[t].inflight != 1) continue;
+          if (Clock::now() - other.since <
+              std::chrono::milliseconds(straggler_ms_)) {
+            continue;
+          }
+          if (slowest == nullptr || other.since < slowest->since) {
+            slowest = &other;
+          }
+        }
+        if (slowest != nullptr) {
+          Dispatch(&w, static_cast<std::size_t>(slowest->task), &tasks);
+        }
+      }
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<Worker*> polled;
+    for (Worker& w : workers) {
+      if (!w.alive) continue;
+      fds.push_back({w.result_fd, POLLIN, 0});
+      polled.push_back(&w);
+    }
+    if (fds.empty()) {
+      std::size_t first_unfinished = 0;
+      while (first_unfinished < count && tasks[first_unfinished].done) {
+        ++first_unfinished;
+      }
+      return Fail(&workers, first_unfinished, true,
+                  "all workers exited with task " +
+                      std::to_string(first_unfinished) + " unfinished");
+    }
+
+    const int timeout = straggler_ms_ > 0
+                            ? std::max(10, std::min(straggler_ms_, 200))
+                            : -1;
+    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    if (ready < 0 && errno != EINTR) {
+      return Fail(&workers, 0, false,
+                  std::string("poll: ") + std::strerror(errno));
+    }
+
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Worker* w = polled[i];
+      char chunk[65536];
+      const ssize_t n = ::read(w->result_fd, chunk, sizeof chunk);
+      if (n > 0) {
+        w->buf.append(chunk, static_cast<std::size_t>(n));
+        // Drain complete frames: "R|E <index> <len>\n" + len bytes.
+        for (;;) {
+          const std::size_t nl = w->buf.find('\n');
+          if (nl == std::string::npos) break;
+          // Parse the header line only: sscanf on the whole buffer would
+          // treat the newline as whitespace and read fields from the next
+          // frame's bytes, desyncing the stream instead of failing.
+          const std::string header = w->buf.substr(0, nl);
+          char type = 0;
+          std::size_t index = 0, len = 0;
+          if (std::sscanf(header.c_str(), "%c %zu %zu", &type, &index,
+                          &len) != 3 ||
+              (type != 'R' && type != 'E')) {
+            return Fail(&workers, 0, false,
+                        "malformed worker frame: " + header);
+          }
+          if (w->buf.size() < nl + 1 + len) break;  // payload incomplete
+          std::string payload = w->buf.substr(nl + 1, len);
+          w->buf.erase(0, nl + 1 + len);
+          if (!handle_frame(w, type, index, std::move(payload), &message)) {
+            failed_task = index;
+            return Fail(&workers, failed_task, true, message);
+          }
+        }
+      } else if (n == 0 || (n < 0 && errno != EINTR)) {
+        // Worker died (SIGKILL, crash, or clean exit we didn't ask for).
+        // Its in-flight task is rescheduled onto the survivors.
+        const long long inflight = w->task;
+        ReapWorker(w);
+        if (inflight >= 0) {
+          const std::size_t task = static_cast<std::size_t>(inflight);
+          tasks[task].inflight--;
+          if (!attempt_failed(task, "worker process exited mid-task",
+                              &message)) {
+            return Fail(&workers, task, true, message);
+          }
+        }
+      }
+    }
+  }
+
+  // Done. Idle workers exit on stdin EOF; workers still computing a stale
+  // duplicate would block completion, so kill the stragglers outright —
+  // tasks are pure, nothing is lost.
+  for (Worker& w : workers) {
+    if (!w.alive) continue;
+    if (w.task >= 0 && w.pid > 0) ::kill(w.pid, SIGKILL);
+    ReapWorker(&w);
+  }
+  return RunResult{};
+}
+
+}  // namespace
+
+std::unique_ptr<Executor> MakeProcessExecutor(const ExecOptions& opts) {
+  return std::make_unique<ProcessExecutor>(opts);
+}
+
+std::unique_ptr<Executor> MakeWorkerServer(const ExecOptions& opts) {
+  return std::make_unique<WorkerServer>(opts);
+}
+
+}  // namespace disco::exec

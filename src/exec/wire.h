@@ -1,0 +1,128 @@
+// Byte-exact serialization for executor task results.
+//
+// The multi-process backend ships task results between processes as opaque
+// byte strings, so anything a task returns must round-trip losslessly:
+// doubles travel as their IEEE-754 bit pattern (never through text), and
+// strings are length-prefixed. Encoding a value and decoding it back is
+// the identity, which is what lets `--backend=procs` output stay
+// byte-identical to the in-process run.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace disco::exec {
+
+inline void PutU64(std::string* buf, std::uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  buf->append(bytes, 8);
+}
+
+inline void PutDouble(std::string* buf, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutU64(buf, bits);
+}
+
+inline void PutString(std::string* buf, const std::string& s) {
+  PutU64(buf, s.size());
+  buf->append(s);
+}
+
+/// Sequential reader over a serialized buffer. Get* return false once the
+/// buffer is exhausted or malformed; `ok()` stays false from then on.
+class WireReader {
+ public:
+  explicit WireReader(const std::string& buf) : buf_(buf) {}
+
+  bool ok() const { return ok_; }
+
+  bool GetU64(std::uint64_t* v) {
+    if (!ok_ || pos_ + 8 > buf_.size()) return Fail();
+    std::uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(buf_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    *v = out;
+    return true;
+  }
+
+  bool GetDouble(double* v) {
+    std::uint64_t bits;
+    if (!GetU64(&bits)) return false;
+    std::memcpy(v, &bits, 8);
+    return true;
+  }
+
+  bool GetString(std::string* s) {
+    std::uint64_t len;
+    if (!GetU64(&len)) return false;
+    if (len > buf_.size() - pos_) return Fail();
+    s->assign(buf_, pos_, static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return true;
+  }
+
+ private:
+  bool Fail() {
+    ok_ = false;
+    return false;
+  }
+
+  const std::string& buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// The result shape most bench tasks produce: ordered text fragments the
+/// parent prints, plus named files it writes. Tasks must not print or touch
+/// the filesystem themselves — in the process backend they run with stdout
+/// discarded, and a speculative straggler duplicate may run concurrently
+/// with the original.
+struct TextBundle {
+  std::vector<std::string> parts;
+  std::vector<std::pair<std::string, std::string>> files;  // name, content
+
+  std::string Serialize() const {
+    std::string out;
+    PutU64(&out, parts.size());
+    for (const std::string& p : parts) PutString(&out, p);
+    PutU64(&out, files.size());
+    for (const auto& [name, content] : files) {
+      PutString(&out, name);
+      PutString(&out, content);
+    }
+    return out;
+  }
+
+  static bool Parse(const std::string& buf, TextBundle* out) {
+    // Lengths are untrusted bytes: never pre-size from them, let each
+    // GetString bounds-check against what the buffer actually holds.
+    WireReader r(buf);
+    out->parts.clear();
+    out->files.clear();
+    std::uint64_t n = 0;
+    if (!r.GetU64(&n)) return false;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::string p;
+      if (!r.GetString(&p)) return false;
+      out->parts.push_back(std::move(p));
+    }
+    if (!r.GetU64(&n)) return false;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::string name, content;
+      if (!r.GetString(&name) || !r.GetString(&content)) return false;
+      out->files.emplace_back(std::move(name), std::move(content));
+    }
+    return true;
+  }
+};
+
+}  // namespace disco::exec

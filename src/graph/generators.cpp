@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "graph/components.h"
+#include "runtime/parallel_for.h"
+#include "runtime/rng_stream.h"
 #include "util/rng.h"
 
 namespace disco {
@@ -17,6 +19,12 @@ std::uint64_t EdgeKey(NodeId a, NodeId b) {
   return (std::uint64_t{a} << 32) | b;
 }
 
+// Chunk width for the parallel generators. The chunking is a pure function
+// of the problem size — never of the thread count — so per-chunk RNG
+// streams (runtime::TaskRng) and chunk-major result concatenation make the
+// generated graph bit-identical however many threads ran.
+constexpr std::size_t kGenGrain = 8192;
+
 }  // namespace
 
 Graph Gnm(NodeId n, std::size_t m, std::uint64_t seed) {
@@ -26,14 +34,45 @@ Graph Gnm(NodeId n, std::size_t m, std::uint64_t seed) {
   assert(m <= max_edges);
   (void)max_edges;
 
-  Rng rng(seed);
+  // KaGen-style chunked sampling: the edge-index range is cut into fixed
+  // chunks, chunk c draws its quota of distinct candidate edges from its
+  // own per-chunk stream, and chunks merge in index order. Cross-chunk
+  // duplicates are discarded during the ordered merge and replaced from a
+  // dedicated top-up stream, so the graph has exactly m edges. Chunk 0
+  // deliberately continues the legacy single-stream Rng(seed): graphs
+  // small enough for one chunk — every unit-test topology — come out
+  // bit-identical to the original sequential generator.
+  const std::size_t num_chunks = (m + kGenGrain - 1) / kGenGrain;
+  std::vector<std::vector<WeightedEdge>> chunk_edges(num_chunks);
+  runtime::ParallelForTasks(num_chunks, [&](std::size_t c) {
+    const std::size_t quota = std::min(kGenGrain, m - c * kGenGrain);
+    Rng rng = c == 0 ? Rng(seed) : runtime::TaskRng(seed, c);
+    std::unordered_set<std::uint64_t> used;
+    used.reserve(quota * 2);
+    auto& edges = chunk_edges[c];
+    edges.reserve(quota);
+    while (edges.size() < quota) {
+      const NodeId a = static_cast<NodeId>(rng.NextBelow(n));
+      const NodeId b = static_cast<NodeId>(rng.NextBelow(n));
+      if (a == b) continue;
+      if (!used.insert(EdgeKey(a, b)).second) continue;
+      edges.push_back({a, b, 1.0});
+    }
+  });
+
   std::unordered_set<std::uint64_t> used;
   used.reserve(m * 2);
   std::vector<WeightedEdge> edges;
   edges.reserve(m);
+  for (const auto& chunk : chunk_edges) {
+    for (const WeightedEdge& e : chunk) {
+      if (used.insert(EdgeKey(e.a, e.b)).second) edges.push_back(e);
+    }
+  }
+  Rng top_up = runtime::TaskRng(seed, num_chunks);
   while (edges.size() < m) {
-    const NodeId a = static_cast<NodeId>(rng.NextBelow(n));
-    const NodeId b = static_cast<NodeId>(rng.NextBelow(n));
+    const NodeId a = static_cast<NodeId>(top_up.NextBelow(n));
+    const NodeId b = static_cast<NodeId>(top_up.NextBelow(n));
     if (a == b) continue;
     if (!used.insert(EdgeKey(a, b)).second) continue;
     edges.push_back({a, b, 1.0});
@@ -48,12 +87,23 @@ Graph ConnectedGnm(NodeId n, std::size_t m, std::uint64_t seed) {
 Graph RandomGeometric(NodeId n, double target_avg_degree,
                       std::uint64_t seed) {
   assert(n >= 2);
-  Rng rng(seed);
+  // Coordinates: each fixed chunk of the node range draws from its own
+  // stream, so placement is reproducible at any thread count. Chunk 0
+  // continues the legacy single-stream Rng(seed), keeping every graph
+  // that fits one chunk bit-identical to the original sequential
+  // generator (the edge pass below is RNG-free and v-major either way).
   std::vector<double> x(n), y(n);
-  for (NodeId v = 0; v < n; ++v) {
-    x[v] = rng.NextDouble();
-    y[v] = rng.NextDouble();
-  }
+  runtime::ParallelFor(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        Rng rng = lo < kGenGrain ? Rng(seed)
+                                 : runtime::TaskRng(seed, lo / kGenGrain);
+        for (std::size_t v = lo; v < hi; ++v) {
+          x[v] = rng.NextDouble();
+          y[v] = rng.NextDouble();
+        }
+      },
+      nullptr, kGenGrain);
   // Expected neighbors within radius r is ~ n * pi * r^2 (ignoring border
   // effects), so solve for the target degree.
   const double r =
@@ -71,24 +121,41 @@ Graph RandomGeometric(NodeId n, double target_avg_degree,
   };
   for (NodeId v = 0; v < n; ++v) bucket[bucket_of(x[v], y[v])].push_back(v);
 
-  std::vector<WeightedEdge> edges;
+  // Neighbor search (the hot loop): chunk-local edge lists concatenated in
+  // chunk order reproduce the sequential v-major edge order exactly.
+  const std::size_t num_chunks = (n + kGenGrain - 1) / kGenGrain;
+  std::vector<std::vector<WeightedEdge>> chunk_edges(num_chunks);
   const double r2 = r * r;
-  for (NodeId v = 0; v < n; ++v) {
-    const int cx = std::min(cells - 1, static_cast<int>(x[v] / cell));
-    const int cy = std::min(cells - 1, static_cast<int>(y[v] / cell));
-    for (int dy = -1; dy <= 1; ++dy) {
-      for (int dx = -1; dx <= 1; ++dx) {
-        const int nx = cx + dx, ny = cy + dy;
-        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
-        for (const NodeId u :
-             bucket[static_cast<std::size_t>(ny) * cells + nx]) {
-          if (u <= v) continue;  // each pair once
-          const double ddx = x[v] - x[u], ddy = y[v] - y[u];
-          const double d2 = ddx * ddx + ddy * ddy;
-          if (d2 <= r2) edges.push_back({v, u, std::sqrt(d2)});
+  runtime::ParallelFor(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        auto& out = chunk_edges[lo / kGenGrain];
+        for (std::size_t vi = lo; vi < hi; ++vi) {
+          const NodeId v = static_cast<NodeId>(vi);
+          const int cx = std::min(cells - 1, static_cast<int>(x[v] / cell));
+          const int cy = std::min(cells - 1, static_cast<int>(y[v] / cell));
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              const int nx = cx + dx, ny = cy + dy;
+              if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+              for (const NodeId u :
+                   bucket[static_cast<std::size_t>(ny) * cells + nx]) {
+                if (u <= v) continue;  // each pair once
+                const double ddx = x[v] - x[u], ddy = y[v] - y[u];
+                const double d2 = ddx * ddx + ddy * ddy;
+                if (d2 <= r2) out.push_back({v, u, std::sqrt(d2)});
+              }
+            }
+          }
         }
-      }
-    }
+      },
+      nullptr, kGenGrain);
+  std::size_t total = 0;
+  for (const auto& chunk : chunk_edges) total += chunk.size();
+  std::vector<WeightedEdge> edges;
+  edges.reserve(total);
+  for (const auto& chunk : chunk_edges) {
+    edges.insert(edges.end(), chunk.begin(), chunk.end());
   }
   return Graph::FromEdges(n, edges);
 }

@@ -135,7 +135,8 @@ TEST(SweepMerge, SpecFingerprintGuardsAgainstMixedSweeps) {
                                     &error),
             sig + header + "0\ta\n1\tb\n");
 
-  // A stale shard from a different grid must not merge.
+  // A stale shard from a different grid must not merge, and the refusal
+  // names the mismatching field.
   api::SweepSpec other = MiniSpec();
   other.sizes = {256};
   const std::string other_sig = api::SweepSignature(other);
@@ -145,12 +146,33 @@ TEST(SweepMerge, SpecFingerprintGuardsAgainstMixedSweeps) {
                                     &error),
             "");
   EXPECT_NE(error.find("different sweeps"), std::string::npos) << error;
+  EXPECT_NE(error.find("field \"sizes\""), std::string::npos) << error;
+  EXPECT_NE(error.find("sizes=128"), std::string::npos) << error;
+  EXPECT_NE(error.find("sizes=256"), std::string::npos) << error;
 
-  // Signed and unsigned shards do not mix either.
+  // The scheme LIST ORDER is part of the fingerprint — shards built from
+  // reordered --schemes flags index their cells differently, so the
+  // refusal must call out `schemes`, not leave the operator diffing
+  // fingerprints by eye.
+  api::SweepSpec reordered = MiniSpec();
+  std::swap(reordered.schemes[0], reordered.schemes[1]);
+  const std::string reordered_sig = api::SweepSignature(reordered);
+  ASSERT_NE(sig, reordered_sig);
+  EXPECT_EQ(api::MergeShardContents({sig + header + "0\ta\n",
+                                     reordered_sig + header + "1\tb\n"},
+                                    &error),
+            "");
+  EXPECT_NE(error.find("field \"schemes\""), std::string::npos) << error;
+  EXPECT_NE(error.find("schemes=disco,s4"), std::string::npos) << error;
+  EXPECT_NE(error.find("schemes=s4,disco"), std::string::npos) << error;
+
+  // Signed and unsigned shards do not mix either; the message says which
+  // side lacks the fingerprint.
   EXPECT_EQ(api::MergeShardContents({sig + header + "0\ta\n",
                                      header + "1\tb\n"},
                                     &error),
             "");
+  EXPECT_NE(error.find("no #spec line"), std::string::npos) << error;
 }
 
 TEST(SweepTopologies, FamiliesAreBuildable) {

@@ -1,0 +1,206 @@
+// Executor-layer tests: thread-backend semantics, wire round-trips, and —
+// through the exec_test_worker helper binary — the process backend's
+// failure handling: a SIGKILLed worker's task rescheduled onto a survivor
+// (converging to the same bytes as the in-process run), a poison task
+// exhausting its retries with the failing task named, a drained pool
+// surfacing an error, and a straggler past the deadline getting a
+// speculative duplicate.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "exec/executor.h"
+#include "exec/wire.h"
+
+#ifndef EXEC_TEST_WORKER_PATH
+#error "build must define EXEC_TEST_WORKER_PATH (see CMakeLists.txt)"
+#endif
+
+namespace disco {
+namespace {
+
+std::vector<std::string> ExpectedResults(std::size_t count) {
+  std::vector<std::string> expected;
+  for (std::size_t i = 0; i < count; ++i) {
+    expected.push_back("result-" + std::to_string(i));
+  }
+  return expected;
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  // Each test is one independent "driver" process as far as job numbering
+  // is concerned: its first Run call must claim job 0, because that is the
+  // job its helper workers are told to serve.
+  void SetUp() override { exec::ResetJobNumberingForTest(); }
+
+  std::string TempPath(const std::string& name) {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    const std::string path = ::testing::TempDir() + "exec_" +
+                             info->name() + "_" + name + "_" +
+                             std::to_string(::getpid());
+    std::remove(path.c_str());
+    return path;
+  }
+
+  exec::ExecOptions ProcOpts(std::size_t workers,
+                             std::vector<std::string> helper_flags) {
+    exec::ExecOptions opts;
+    opts.backend = exec::Backend::kProcs;
+    opts.workers = workers;
+    opts.max_retries = 2;
+    opts.straggler_ms = 0;
+    opts.worker_argv = {EXEC_TEST_WORKER_PATH};
+    for (std::string& f : helper_flags) {
+      opts.worker_argv.push_back(std::move(f));
+    }
+    return opts;
+  }
+
+  // The process backend never evaluates the task function driver-side.
+  exec::TaskFn NotCalled() {
+    return [](std::size_t) -> std::string {
+      throw std::logic_error("driver-side task function must not run");
+    };
+  }
+};
+
+TEST_F(ExecutorTest, WireRoundTripsExactly) {
+  std::string buf;
+  exec::PutU64(&buf, 0x0123456789abcdefULL);
+  exec::PutDouble(&buf, 0.1);  // not exactly representable: bits must ship
+  exec::PutString(&buf, std::string("with\0byte\n", 10));
+  exec::WireReader r(buf);
+  std::uint64_t u = 0;
+  double d = 0;
+  std::string s;
+  ASSERT_TRUE(r.GetU64(&u));
+  ASSERT_TRUE(r.GetDouble(&d));
+  ASSERT_TRUE(r.GetString(&s));
+  EXPECT_EQ(u, 0x0123456789abcdefULL);
+  EXPECT_EQ(d, 0.1);
+  EXPECT_EQ(s, std::string("with\0byte\n", 10));
+  EXPECT_FALSE(r.GetU64(&u));  // exhausted
+  EXPECT_FALSE(r.ok());
+
+  exec::TextBundle bundle;
+  bundle.parts = {"line one\n", ""};
+  bundle.files = {{"a.tsv", "1\t2\n"}, {"b.tsv", ""}};
+  exec::TextBundle parsed;
+  ASSERT_TRUE(exec::TextBundle::Parse(bundle.Serialize(), &parsed));
+  EXPECT_EQ(parsed.parts, bundle.parts);
+  EXPECT_EQ(parsed.files, bundle.files);
+  EXPECT_FALSE(exec::TextBundle::Parse("truncated", &parsed));
+}
+
+TEST_F(ExecutorTest, ThreadBackendReturnsResultsInTaskOrder) {
+  const auto executor = exec::MakeExecutor(exec::ExecOptions{});
+  std::vector<std::string> results;
+  const exec::RunResult status = executor->Run(
+      64, [](std::size_t i) { return "result-" + std::to_string(i); },
+      &results);
+  ASSERT_TRUE(status.ok) << status.error;
+  EXPECT_EQ(results, ExpectedResults(64));
+}
+
+TEST_F(ExecutorTest, ThreadBackendNamesTheLowestFailingTask) {
+  const auto executor = exec::MakeExecutor(exec::ExecOptions{});
+  std::vector<std::string> results;
+  const exec::RunResult status = executor->Run(
+      16,
+      [](std::size_t i) -> std::string {
+        if (i == 5 || i == 11) throw std::runtime_error("boom");
+        return "ok";
+      },
+      &results);
+  ASSERT_FALSE(status.ok);
+  ASSERT_TRUE(status.task_known);
+  EXPECT_EQ(status.failed_task, 5u);
+  EXPECT_NE(status.error.find("task 5"), std::string::npos) << status.error;
+}
+
+TEST_F(ExecutorTest, ProcsBackendMatchesThreadBackendBytes) {
+  const auto executor = exec::MakeExecutor(ProcOpts(3, {"--mode=echo"}));
+  std::vector<std::string> results;
+  const exec::RunResult status = executor->Run(8, NotCalled(), &results);
+  ASSERT_TRUE(status.ok) << status.error;
+  EXPECT_EQ(results, ExpectedResults(8));
+}
+
+TEST_F(ExecutorTest, SigkilledWorkerTaskReschedulesAndBytesConverge) {
+  const std::string marker = TempPath("marker");
+  const auto executor = exec::MakeExecutor(
+      ProcOpts(2, {"--mode=kill-self-task2", "--marker=" + marker}));
+  std::vector<std::string> results;
+  const exec::RunResult status = executor->Run(6, NotCalled(), &results);
+  ASSERT_TRUE(status.ok) << status.error;
+  // One worker really did die mid-task 2...
+  struct stat st;
+  EXPECT_EQ(::stat(marker.c_str(), &st), 0)
+      << "the kill-self marker was never created: no worker died";
+  // ...and the run still converged to exactly the in-process bytes,
+  // task 2 included (rescheduled onto the surviving worker).
+  EXPECT_EQ(results, ExpectedResults(6));
+  std::remove(marker.c_str());
+}
+
+TEST_F(ExecutorTest, PoisonTaskExhaustsRetriesAndIsNamed) {
+  exec::ExecOptions opts = ProcOpts(2, {"--mode=fail-task1"});
+  opts.max_retries = 1;
+  const auto executor = exec::MakeExecutor(opts);
+  std::vector<std::string> results;
+  const exec::RunResult status = executor->Run(4, NotCalled(), &results);
+  ASSERT_FALSE(status.ok);
+  ASSERT_TRUE(status.task_known);
+  EXPECT_EQ(status.failed_task, 1u);
+  EXPECT_NE(status.error.find("task 1"), std::string::npos) << status.error;
+  EXPECT_NE(status.error.find("2 attempt"), std::string::npos)
+      << status.error;
+  EXPECT_NE(status.error.find("poisoned"), std::string::npos)
+      << status.error;
+}
+
+TEST_F(ExecutorTest, DrainedWorkerPoolSurfacesAnError) {
+  // Task 2 kills every worker that touches it; with retries to spare the
+  // pool itself runs dry, which must be an error, not a hang.
+  exec::ExecOptions opts = ProcOpts(2, {"--mode=kill-always-task2"});
+  opts.max_retries = 5;
+  const auto executor = exec::MakeExecutor(opts);
+  std::vector<std::string> results;
+  const exec::RunResult status = executor->Run(6, NotCalled(), &results);
+  ASSERT_FALSE(status.ok);
+  EXPECT_FALSE(status.error.empty());
+}
+
+TEST_F(ExecutorTest, StragglerIsSpeculativelyDuplicated) {
+  const std::string marker = TempPath("marker");
+  exec::ExecOptions opts =
+      ProcOpts(2, {"--mode=sleep-task0", "--marker=" + marker});
+  opts.straggler_ms = 100;  // task 0 sleeps 1200 ms: far past the deadline
+  const auto executor = exec::MakeExecutor(opts);
+  std::vector<std::string> results;
+  const exec::RunResult status = executor->Run(2, NotCalled(), &results);
+  ASSERT_TRUE(status.ok) << status.error;
+  EXPECT_EQ(results, ExpectedResults(2));
+  // Task 0 appends one marker byte per attempt: the original plus the
+  // speculative duplicate the idle worker picked up.
+  std::ifstream in(marker, std::ios::binary);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  EXPECT_EQ(bytes.str().size(), 2u)
+      << "expected the straggling task to run exactly twice";
+  std::remove(marker.c_str());
+}
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI smoke for the process-pool executor: the same mini-grid driven
+# through --backend=procs --workers=2 must produce a merged sweep.tsv
+# byte-identical to the in-process --backend=threads run.
+#   usage: exec_smoke.sh <path-to-disco_sweep>
+set -euo pipefail
+
+BIN="$1"
+dir="$(mktemp -d)"
+trap 'rm -rf "$dir"' EXIT
+
+"$BIN" --quick --backend=threads --out="$dir/threads" > /dev/null
+"$BIN" --quick --backend=procs --workers=2 --out="$dir/procs" > /dev/null
+
+if ! cmp "$dir/threads/sweep.tsv" "$dir/procs/sweep.tsv"; then
+  echo "exec_smoke: procs backend output differs from threads backend" >&2
+  exit 1
+fi
+rows=$(grep -cv -e '^#' -e '^cell	' "$dir/threads/sweep.tsv")
+echo "exec_smoke OK: $rows cells, procs == threads byte-identical"

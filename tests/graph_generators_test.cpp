@@ -4,13 +4,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <set>
 
 #include "graph/components.h"
 #include "graph/shortest_path.h"
+#include "runtime/thread_pool.h"
 
 namespace disco {
 namespace {
+
+// Runs `make` under a 1-thread pool and a wide pool and asserts the two
+// graphs are bit-identical — the contract of the chunked parallel
+// generators (per-chunk RNG streams, chunk-major merges).
+void ExpectThreadCountInvariant(const std::function<Graph()>& make) {
+  runtime::ThreadPool::ResetShared(1);
+  const Graph sequential = make();
+  runtime::ThreadPool::ResetShared(8);
+  const Graph parallel = make();
+  runtime::ThreadPool::ResetShared(runtime::DefaultThreadCount());
+  ASSERT_EQ(sequential.num_nodes(), parallel.num_nodes());
+  ASSERT_EQ(sequential.num_edges(), parallel.num_edges());
+  for (EdgeId e = 0; e < sequential.num_edges(); ++e) {
+    ASSERT_EQ(sequential.edge(e).a, parallel.edge(e).a) << "edge " << e;
+    ASSERT_EQ(sequential.edge(e).b, parallel.edge(e).b) << "edge " << e;
+    ASSERT_EQ(sequential.edge(e).weight, parallel.edge(e).weight)
+        << "edge " << e;
+  }
+}
 
 TEST(Gnm, ExactEdgeCount) {
   const Graph g = Gnm(100, 400, 1);
@@ -38,6 +59,12 @@ TEST(Gnm, DeterministicPerSeed) {
   }
 }
 
+TEST(Gnm, BitIdenticalAcrossThreadCounts) {
+  // Multi-chunk (m > one 8192-edge chunk), so the parallel path really
+  // fans out and the cross-chunk dedup + top-up stream is exercised.
+  ExpectThreadCountInvariant([] { return Gnm(20000, 40000, 3); });
+}
+
 TEST(Gnm, ConnectedVariantIsConnected) {
   // Sparse enough that G(n,m) is often disconnected.
   const Graph g = ConnectedGnm(200, 220, 3);
@@ -60,6 +87,13 @@ TEST(Geometric, AverageDegreeNearTarget) {
                      static_cast<double>(g.num_nodes());
   EXPECT_GT(avg, 5.5);
   EXPECT_LT(avg, 10.5);
+}
+
+TEST(Geometric, BitIdenticalAcrossThreadCounts) {
+  // Multi-chunk (n > one 8192-node chunk): per-chunk coordinate streams
+  // and the chunk-major edge concatenation must be schedule-independent.
+  ExpectThreadCountInvariant(
+      [] { return RandomGeometric(20000, 8.0, 3); });
 }
 
 TEST(Geometric, ConnectedVariantIsConnected) {

@@ -1,0 +1,95 @@
+// Worker binary for exec_executor_test: a minimal stand-in for a bench
+// driver whose argv fully determines its task function, with fault modes
+// the test's driver side provokes on purpose.
+//
+//   --mode=echo              task i returns "result-<i>"
+//   --mode=fail-task1        task 1 always throws (retry exhaustion)
+//   --mode=kill-self-task2   the first worker handed task 2 SIGKILLs
+//                            itself mid-task; --marker=<path> records that
+//                            the kill happened so the retry (on a
+//                            surviving worker) computes normally
+//   --mode=kill-always-task2 every worker handed task 2 dies (drains the
+//                            whole pool)
+//   --mode=sleep-task0       task 0 appends one byte to --marker and
+//                            sleeps 1200 ms — with a short straggler
+//                            deadline the driver speculatively duplicates
+//                            it, which the marker byte count proves
+//
+// Standalone (no --worker=) it runs its tasks on the thread backend and
+// prints them, which is also what the test uses to assert that both
+// backends converge to the same bytes.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <csignal>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "exec/executor.h"
+
+namespace {
+constexpr std::size_t kNumTasks = 16;  // >= any count the test drives
+}
+
+int main(int argc, char** argv) {
+  std::string mode = "echo", marker;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--mode=", 0) == 0) {
+      mode = arg.substr(7);
+    } else if (arg.rfind("--marker=", 0) == 0) {
+      marker = arg.substr(9);
+    } else if (arg.rfind("--worker=", 0) == 0) {
+      disco::exec::EnterWorkerMode(
+          std::strtoull(arg.c_str() + 9, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const disco::exec::TaskFn fn = [&](std::size_t i) -> std::string {
+    if (mode == "fail-task1" && i == 1) {
+      throw std::runtime_error("task one is poisoned");
+    }
+    if (mode == "kill-self-task2" && i == 2) {
+      const int fd =
+          ::open(marker.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+      if (fd >= 0) {
+        ::close(fd);
+        ::raise(SIGKILL);
+      }
+      // Marker already present: the kill already happened, this is the
+      // rescheduled attempt — compute normally.
+    }
+    if (mode == "kill-always-task2" && i == 2) ::raise(SIGKILL);
+    if (mode == "sleep-task0" && i == 0) {
+      const int fd =
+          ::open(marker.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+      if (fd >= 0) {
+        const ssize_t ignored = ::write(fd, "x", 1);
+        (void)ignored;
+        ::close(fd);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+    }
+    return "result-" + std::to_string(i);
+  };
+
+  disco::exec::ExecOptions opts;  // thread backend; serves when a worker
+  const auto executor = disco::exec::MakeExecutor(opts);
+  std::vector<std::string> results;
+  const disco::exec::RunResult status =
+      executor->Run(kNumTasks, fn, &results);
+  if (!status.ok) {
+    std::fprintf(stderr, "%s\n", status.error.c_str());
+    return 1;
+  }
+  for (const std::string& r : results) std::printf("%s\n", r.c_str());
+  return 0;
+}
