@@ -167,6 +167,85 @@ std::string Args::OutPath(const std::string& name) const {
   return out + "/" + name;
 }
 
+const char* CampaignArgs::Usage() {
+  return "  --replicas=<r>   independent seeded DES replicas (default 1)\n"
+         "  --scenario=<s>   dynamics scenario: null (default), churn,\n"
+         "                   linkfail, correlated, partition\n"
+         "  --scn-events=<k>   disturbance events per scenario\n"
+         "  --scn-fraction=<f> fraction of nodes/links hit per event\n"
+         "  --scn-start=<t>    sim time of the first disturbance\n"
+         "  --scn-spacing=<t>  disturbance -> recovery spacing\n"
+         "  --scn-noheal       leave the final disturbance unhealed\n";
+}
+
+bool CampaignArgs::Consume(const std::string& arg) {
+  const auto value_of = [&arg](const char* prefix) -> const char* {
+    const std::size_t len = std::strlen(prefix);
+    return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+  };
+  const auto die = [&](const char* what) {
+    std::fprintf(stderr, "%s in %s\n", what, arg.c_str());
+    std::exit(2);
+  };
+  if (const char* v = value_of("--replicas=")) {
+    char* end = nullptr;
+    const unsigned long long r = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0' || r == 0) die("invalid replica count");
+    replicas = static_cast<std::size_t>(r);
+    return true;
+  }
+  if (const char* v = value_of("--scenario=")) {
+    if (!IsScenarioKind(v)) {
+      std::fprintf(stderr,
+                   "unknown scenario \"%s\" (known: null, churn, linkfail, "
+                   "correlated, partition)\n",
+                   v);
+      std::exit(2);
+    }
+    scenario.kind = v;
+    return true;
+  }
+  if (const char* v = value_of("--scn-events=")) {
+    char* end = nullptr;
+    const unsigned long long k = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0') die("invalid event count");
+    scenario.events = static_cast<std::size_t>(k);
+    return true;
+  }
+  if (const char* v = value_of("--scn-fraction=")) {
+    char* end = nullptr;
+    const double f = std::strtod(v, &end);
+    if (end == v || *end != '\0' || f <= 0 || f > 1) {
+      die("invalid fraction (need 0 < f <= 1)");
+    }
+    scenario.fraction = f;
+    return true;
+  }
+  if (const char* v = value_of("--scn-start=")) {
+    char* end = nullptr;
+    const double t = std::strtod(v, &end);
+    if (end == v || *end != '\0' || t < 0) die("invalid start time");
+    scenario.start = t;
+    return true;
+  }
+  if (const char* v = value_of("--scn-spacing=")) {
+    char* end = nullptr;
+    const double t = std::strtod(v, &end);
+    // The spacing must exceed the maximum link delay (1.5) or a message
+    // could be in flight across two disturbances at once.
+    if (end == v || *end != '\0' || t <= 1.5) {
+      die("invalid spacing (need > 1.5, the max link delay)");
+    }
+    scenario.spacing = t;
+    return true;
+  }
+  if (arg == "--scn-noheal") {
+    scenario.heal = false;
+    return true;
+  }
+  return false;
+}
+
 void Banner(const std::string& figure, const std::string& expectation) {
   std::printf("==============================================================="
               "=\n%s\npaper expectation: %s\n"

@@ -39,6 +39,7 @@
 #include "exec/executor.h"
 #include "graph/graph.h"
 #include "runtime/parallel_for.h"
+#include "sim/scenario.h"
 #include "util/stats.h"
 
 namespace disco::bench {
@@ -100,6 +101,34 @@ struct Args {
 
   /// Prefixes `name` with the --out directory (if any).
   std::string OutPath(const std::string& name) const;
+};
+
+/// Campaign flags shared by the dynamics benches (fig08_convergence,
+/// static_vs_des) and disco_sweep, plugged into Args::Parse through the
+/// strict extra-flag hook:
+///   --replicas=<r>      independent seeded DES replicas (default 1)
+///   --scenario=<kind>   null | churn | linkfail | correlated | partition
+///   --scn-events=<k>    disturbance events per scenario
+///   --scn-fraction=<f>  fraction of nodes/links disturbed per event
+///   --scn-start=<t>     simulated time of the first disturbance
+///   --scn-spacing=<t>   disturbance -> recovery spacing
+///   --scn-noheal        leave the final disturbance unhealed
+struct CampaignArgs {
+  std::size_t replicas = 1;
+  ScenarioSpec scenario;
+
+  /// Extra-flag hook body: returns true if `arg` was consumed. Malformed
+  /// values and unknown scenario kinds exit with a message (same policy
+  /// as the common flags).
+  bool Consume(const std::string& arg);
+
+  /// The usage lines for Args::Parse's `extra_usage`.
+  static const char* Usage();
+
+  /// True when the run differs from a plain single-replica static bench
+  /// (extra output such as campaign TSVs keys off this, so default runs
+  /// stay byte-identical to the pre-campaign harness).
+  bool active() const { return replicas > 1 || scenario.kind != "null"; }
 };
 
 /// Prints a banner naming the figure and the paper's expectation.

@@ -41,6 +41,10 @@ constexpr const char* kExtraUsage =
     "gnm,geo,as,router)\n"
     "  --sizes=<a,b>    node counts (default 512,1024)\n"
     "  --seeds=<a,b>    one trial per seed (default 1,2)\n"
+    "  --scenarios=<a,b> dynamics scenario axis (default null; known:\n"
+    "                   null,churn,linkfail,correlated,partition); cells\n"
+    "                   with a non-null scenario add a DES re-convergence\n"
+    "                   campaign of the scheme's protocol plane\n"
     "  --shard=<i/m>    run cells with index%m==i (default 0/1)\n"
     "  --merge          merge existing shard TSVs in --out into sweep.tsv\n";
 
@@ -119,10 +123,13 @@ bool CollectShardFiles(const std::string& dir,
 int Main(int argc, char** argv) {
   std::size_t shard = 0, num_shards = 1;
   bool merge_only = false;
-  std::vector<std::string> topos;
+  std::vector<std::string> topos, scenarios;
   std::vector<std::uint64_t> sizes_flag, seeds_flag;
+  CampaignArgs campaign;
+  static const std::string usage =
+      std::string(kExtraUsage) + CampaignArgs::Usage();
   const Args args = Args::Parse(
-      argc, argv, kExtraUsage, [&](const std::string& arg) {
+      argc, argv, usage.c_str(), [&](const std::string& arg) {
         // A recognized flag with a malformed value is its own error, not
         // an "unknown flag".
         const auto bad_value = [&]() -> bool {
@@ -161,7 +168,13 @@ int Main(int argc, char** argv) {
           merge_only = true;
           return true;
         }
-        return false;
+        if (arg.compare(0, 12, "--scenarios=") == 0) {
+          scenarios = SplitCsv(arg.substr(12));
+          return !scenarios.empty() || bad_value();
+        }
+        // --replicas / --scenario (single-kind shorthand for the axis) /
+        // --scn-* knobs.
+        return campaign.Consume(arg);
       });
   const std::string out_dir = args.out.empty() ? "." : args.out;
 
@@ -221,16 +234,29 @@ int Main(int argc, char** argv) {
   spec.schemes = args.SchemesOr(args.quick
                                     ? std::vector<std::string>{"disco", "s4"}
                                     : api::RegisteredSchemes());
+  // The dynamics axis: an explicit --scenarios list, else the --scenario
+  // shorthand (default "null" keeps the grid purely static).
+  spec.scenarios = scenarios.empty()
+                       ? std::vector<std::string>{campaign.scenario.kind}
+                       : scenarios;
+  for (const std::string& s : spec.scenarios) {
+    if (!IsScenarioKind(s)) {
+      std::fprintf(stderr, "unknown scenario kind \"%s\"\n", s.c_str());
+      return 2;
+    }
+  }
+  spec.replicas = campaign.replicas;
+  spec.scenario_base = campaign.scenario;
   spec.pairs = args.SamplesOr(args.quick ? 50 : 200);
   spec.base = args.MakeParams();
 
   const auto grid = api::ExpandGrid(spec);
   const auto cells = api::ShardOf(grid, shard, num_shards);
   std::printf("grid: %zu cells (%zu topologies x %zu sizes x %zu seeds x "
-              "%zu schemes); shard %zu/%zu runs %zu\n",
+              "%zu schemes x %zu scenarios); shard %zu/%zu runs %zu\n",
               grid.size(), spec.topologies.size(), spec.sizes.size(),
-              spec.seeds.size(), spec.schemes.size(), shard, num_shards,
-              cells.size());
+              spec.seeds.size(), spec.schemes.size(),
+              spec.scenarios.size(), shard, num_shards, cells.size());
 
   // Each cell is one executor task: on the thread backend they overlap in
   // process (large cells already saturate the pool from the inside, so
@@ -247,12 +273,13 @@ int Main(int argc, char** argv) {
       max_n <= 4096 ? nullptr : &serial_trials,
       [&](std::size_t i) {
         const api::SweepCell& c = cells[i];
-        char buf[160];
+        char buf[200];
         std::snprintf(buf, sizeof buf,
-                      "cell %zu (topology=%s n=%u seed=%llu scheme=%s)",
+                      "cell %zu (topology=%s n=%u seed=%llu scheme=%s "
+                      "scenario=%s)",
                       c.index, c.topology.c_str(), c.n,
                       static_cast<unsigned long long>(c.seed),
-                      c.scheme.c_str());
+                      c.scheme.c_str(), c.scenario.c_str());
         return std::string(buf);
       });
   std::string rows;

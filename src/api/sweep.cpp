@@ -7,6 +7,7 @@
 #include "api/registry.h"
 #include "graph/generators.h"
 #include "runtime/parallel_for.h"
+#include "sim/campaign.h"
 #include "sim/metrics.h"
 #include "util/stats.h"
 
@@ -33,13 +34,16 @@ std::vector<SweepCell> ExpandGrid(const SweepSpec& spec) {
     for (const NodeId n : spec.sizes) {
       for (const std::uint64_t seed : spec.seeds) {
         for (const std::string& scheme : spec.schemes) {
-          SweepCell cell;
-          cell.index = grid.size();
-          cell.topology = topology;
-          cell.n = n;
-          cell.seed = seed;
-          cell.scheme = scheme;
-          grid.push_back(std::move(cell));
+          for (const std::string& scenario : spec.scenarios) {
+            SweepCell cell;
+            cell.index = grid.size();
+            cell.topology = topology;
+            cell.n = n;
+            cell.seed = seed;
+            cell.scheme = scheme;
+            cell.scenario = scenario;
+            grid.push_back(std::move(cell));
+          }
         }
       }
     }
@@ -74,22 +78,28 @@ std::string SweepSignature(const SweepSpec& spec) {
     if (!seeds.empty()) seeds += ",";
     seeds += std::to_string(s);
   }
-  char knobs[160];
+  char knobs[240];
   std::snprintf(knobs, sizeof knobs,
-                " pairs=%zu gbits=%d lmf=%g vf=%g fingers=%d",
+                " pairs=%zu gbits=%d lmf=%g vf=%g fingers=%d"
+                " replicas=%zu scn=%zux%g@%g+%g%s",
                 spec.pairs, spec.base.group_bits_offset,
                 spec.base.landmark_prob_factor, spec.base.vicinity_factor,
-                spec.base.fingers);
+                spec.base.fingers, spec.replicas,
+                spec.scenario_base.events, spec.scenario_base.fraction,
+                spec.scenario_base.start, spec.scenario_base.spacing,
+                spec.scenario_base.heal ? "" : "-noheal");
   return "#spec topos=" + join(spec.topologies) + " sizes=" + sizes +
-         " seeds=" + seeds + " schemes=" + join(spec.schemes) + knobs +
-         "\n";
+         " seeds=" + seeds + " schemes=" + join(spec.schemes) +
+         " scenarios=" + join(spec.scenarios) + knobs + "\n";
 }
 
 std::string SweepHeader() {
-  return "cell\ttopology\tn\tm\tseed\tscheme\t"
+  return "cell\ttopology\tn\tm\tseed\tscheme\tscenario\t"
          "stretch_first_mean\tstretch_first_p95\tstretch_first_max\t"
          "stretch_later_mean\tstretch_later_p95\tstretch_later_max\t"
-         "failed_routes\tstate_mean\tstate_max\n";
+         "failed_routes\tstate_mean\tstate_max\t"
+         "conv_time_mean\tconv_time_sd\tdes_msgs_node_mean\t"
+         "des_msgs_node_sd\tdes_table_stretch_mean\n";
 }
 
 std::string RunSweepCell(const SweepCell& cell, const SweepSpec& spec) {
@@ -120,16 +130,41 @@ std::string RunSweepCell(const SweepCell& cell, const SweepSpec& spec) {
   for (const auto& d : first_details) failed += d.failed;
   for (const auto& d : later_details) failed += d.failed;
 
-  char line[512];
+  // The dynamics axis: a non-null scenario runs a replicated DES campaign
+  // of the scheme's protocol plane through the scripted disturbance.
+  // Replicas run in-process — the cell itself is already an independent
+  // executor task, and nested process pools must not spawn here.
+  MeanSd conv, des_msgs, des_stretch;
+  if (cell.scenario != "null") {
+    CampaignSpec campaign;
+    campaign.graph = &g;
+    campaign.base.mode = PvModeForScheme(cell.scheme);
+    campaign.base.params = params;
+    campaign.scenario = spec.scenario_base;
+    campaign.scenario.kind = cell.scenario;
+    campaign.stretch_pairs = spec.pairs;
+    std::vector<ReplicaResult> replicas;
+    for (std::size_t r = 0; r < std::max<std::size_t>(1, spec.replicas);
+         ++r) {
+      replicas.push_back(RunReplica(campaign, r));
+    }
+    conv = ReduceConvergenceTime(replicas);
+    des_msgs = ReduceMessagesPerNode(replicas);
+    des_stretch = ReduceTableStretch(replicas);
+  }
+
+  char line[640];
   std::snprintf(line, sizeof line,
-                "%zu\t%s\t%u\t%zu\t%llu\t%s\t"
-                "%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%zu\t%.6g\t%.6g\n",
+                "%zu\t%s\t%u\t%zu\t%llu\t%s\t%s\t"
+                "%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%zu\t%.6g\t%.6g\t"
+                "%.6g\t%.6g\t%.6g\t%.6g\t%.6g\n",
                 cell.index, cell.topology.c_str(), g.num_nodes(),
                 g.num_edges(),
                 static_cast<unsigned long long>(cell.seed),
-                cell.scheme.c_str(), first.mean, first.p95, first.max,
-                later.mean, later.p95, later.max, failed, state.mean,
-                state.max);
+                cell.scheme.c_str(), cell.scenario.c_str(), first.mean,
+                first.p95, first.max, later.mean, later.p95, later.max,
+                failed, state.mean, state.max, conv.mean, conv.sd,
+                des_msgs.mean, des_msgs.sd, des_stretch.mean);
   return line;
 }
 

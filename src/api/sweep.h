@@ -1,7 +1,10 @@
 // Sharded multi-graph experiment sweeps (the ROADMAP driver): expands a
-// (topology × n × seed × scheme) grid into independent cells, runs each
-// cell's measurements through the runtime thread pool, and merges
-// per-shard TSVs into one deterministic table.
+// (topology × n × seed × scheme × scenario) grid into independent cells,
+// runs each cell's measurements through the runtime thread pool, and
+// merges per-shard TSVs into one deterministic table. Cells with a
+// non-null scenario additionally run a replicated DES campaign
+// (sim/campaign.h) of the scheme's protocol plane through the scripted
+// disturbance and report reduced convergence columns.
 //
 // Sharding contract: the grid expansion is a pure function of the spec, so
 // every process of a multi-process run derives the same cell indexing;
@@ -19,6 +22,7 @@
 #include "graph/graph.h"
 #include "routing/params.h"
 #include "runtime/thread_pool.h"
+#include "sim/scenario.h"
 
 namespace disco::api {
 
@@ -27,6 +31,15 @@ struct SweepSpec {
   std::vector<NodeId> sizes;
   std::vector<std::uint64_t> seeds;
   std::vector<std::string> schemes;  // registry keys
+  /// Dynamics scenario kinds (sim/scenario.h); "null" cells measure the
+  /// static scheme only, other kinds add a DES re-convergence campaign.
+  std::vector<std::string> scenarios = {"null"};
+  /// DES replicas per non-null-scenario cell (run in-process inside the
+  /// cell, so sweep cells stay independent executor tasks).
+  std::size_t replicas = 1;
+  /// Shared scenario knobs (events, fraction, spacing, ...); `kind` is
+  /// overridden by the cell's scenario axis value.
+  ScenarioSpec scenario_base;
   /// Sampled source-destination pairs per cell (stretch measurement).
   std::size_t pairs = 200;
   /// Protocol sizing knobs; `base.seed` is overridden per cell.
@@ -40,6 +53,7 @@ struct SweepCell {
   NodeId n = 0;
   std::uint64_t seed = 1;
   std::string scheme;
+  std::string scenario = "null";
 };
 
 /// The synthetic topology families a sweep can draw from:
@@ -51,9 +65,9 @@ const std::vector<std::string>& SweepTopologyFamilies();
 Graph MakeSweepTopology(const std::string& family, NodeId n,
                         std::uint64_t seed);
 
-/// Expands the spec into cells, nested topology -> n -> seed -> scheme,
-/// with index = position. Deterministic: every shard of a multi-process
-/// run computes the same expansion.
+/// Expands the spec into cells, nested topology -> n -> seed -> scheme ->
+/// scenario, with index = position. Deterministic: every shard of a
+/// multi-process run computes the same expansion.
 std::vector<SweepCell> ExpandGrid(const SweepSpec& spec);
 
 /// The cells shard `shard` of `num_shards` is responsible for

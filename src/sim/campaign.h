@@ -1,0 +1,114 @@
+// Replicated DES campaigns on the execution layer.
+//
+// A campaign is (graph, protocol mode, scenario); running it means
+// simulating N independently seeded replicas — replica r compiles its own
+// Scenario and perturbs the simulator's link-delay stream from the
+// per-replica TaskRng convention — and reducing the per-replica
+// convergence-time / message-count / table-stretch traces to mean ± stddev
+// rows. RunReplicas fans every (campaign, replica) pair across an
+// exec::Executor in a single Run call, so the procs backend spreads
+// replicas over worker processes and the reduced tables stay
+// byte-identical to the in-process run (results travel wire-encoded,
+// doubles as bit patterns).
+//
+// Seeding contract: ReplicaSeed(seed, 0) == seed and the null scenario
+// compiles to an empty schedule, so a 1-replica null-scenario campaign
+// reproduces a plain SimulatePathVector(g, base) call bit for bit — the
+// benches built on this layer kept their pre-campaign output byte-exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "graph/graph.h"
+#include "sim/pv_sim.h"
+#include "sim/scenario.h"
+
+namespace disco {
+
+struct CampaignSpec {
+  /// Must outlive the campaign. Workers rebuild it deterministically by
+  /// replaying the bench's argv, so pointing into driver-built state is
+  /// safe on every backend.
+  const Graph* graph = nullptr;
+  /// Protocol mode + parameters; `base.params.seed` is the campaign seed
+  /// every replica derives from.
+  PvConfig base;
+  ScenarioSpec scenario;
+  /// Sampled (source, origin) pairs for the final-table stretch metric.
+  std::size_t stretch_pairs = 64;
+};
+
+/// Reduced metrics of one replica.
+struct ReplicaResult {
+  double convergence_time = 0;
+  std::uint64_t total_messages = 0;
+  double messages_per_node = 0;
+  std::uint64_t total_withdrawals = 0;
+  /// Mean (final table distance / true original-graph distance) over
+  /// sampled entries present in the final tables; 1.0 at exact
+  /// re-convergence, and a lower bound when the scenario leaves a residual
+  /// topology. 0 when no sampled entry existed.
+  double table_stretch = 0;
+  /// Fraction of sampled (source, origin) pairs the final table covered.
+  double table_coverage = 0;
+  std::vector<PvTracePoint> trace;
+};
+
+/// The simulator seed of replica `r`: replica 0 continues the campaign
+/// seed's own stream, later replicas fork per-replica TaskRng streams.
+std::uint64_t ReplicaSeed(std::uint64_t seed, std::size_t replica);
+
+/// Byte-exact wire round-trip (exec/wire.h) for shipping replica results
+/// out of worker processes.
+std::string EncodeReplicaResult(const ReplicaResult& r);
+bool DecodeReplicaResult(const std::string& bytes, ReplicaResult* out);
+
+/// Runs one replica in-process: compiles the replica's scenario, simulates
+/// to quiescence, and reduces the metrics. Pure function of
+/// (spec, replica) — the executor task body. `full` (optional) receives
+/// the raw simulation result for callers that need tables or traces.
+ReplicaResult RunReplica(const CampaignSpec& spec, std::size_t replica,
+                         PvResult* full = nullptr);
+
+/// Fans `replicas` seeded replicas of every campaign across the executor
+/// in ONE Executor::Run call (task = campaign-major (campaign, replica)
+/// pair) and fills (*out)[campaign][replica]. Returns false with *error
+/// set when execution fails. Callers inside an executor task (e.g. a
+/// sweep cell) must not use this — run RunReplica in a loop instead.
+bool RunReplicas(const std::vector<CampaignSpec>& campaigns,
+                 std::size_t replicas, const exec::ExecOptions& opts,
+                 std::vector<std::vector<ReplicaResult>>* out,
+                 std::string* error);
+
+/// Mean and (population) standard deviation of a sample; {0, 0} if empty.
+struct MeanSd {
+  double mean = 0;
+  double sd = 0;
+};
+MeanSd MeanStddev(const std::vector<double>& values);
+
+/// Per-metric reductions over one campaign's replicas.
+MeanSd ReduceConvergenceTime(const std::vector<ReplicaResult>& rs);
+MeanSd ReduceMessagesPerNode(const std::vector<ReplicaResult>& rs);
+MeanSd ReduceTableStretch(const std::vector<ReplicaResult>& rs);
+
+/// TSV header (with trailing newline) for campaign tables:
+/// label, scenario, replicas, then mean/sd pairs for convergence time,
+/// messages per node, table stretch, plus mean withdrawals and coverage.
+std::string CampaignTsvHeader();
+
+/// One reduced TSV row (with trailing newline) matching
+/// CampaignTsvHeader(). Doubles print as "%.6g".
+std::string CampaignTsvRow(const std::string& label,
+                           const std::string& scenario_kind,
+                           const std::vector<ReplicaResult>& rs);
+
+/// The DES mode a registered RoutingScheme corresponds to in dynamics
+/// experiments: disco/nddisco -> kNdDisco, s4 -> kS4, anything else
+/// (vrr, spf, custom registrations) -> the unfiltered kPathVector plane.
+PvMode PvModeForScheme(const std::string& scheme_name);
+
+}  // namespace disco

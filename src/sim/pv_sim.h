@@ -1,5 +1,6 @@
 // Discrete-event simulation of path-vector convergence (§5's "messages per
-// node until convergence", Fig. 8).
+// node until convergence", Fig. 8) and of re-convergence under scripted
+// dynamics (node churn, link failures, partitions — sim/scenario.h).
 //
 // All three data planes — plain path vector, NDDisco, S4 — run the *same*
 // asynchronous protocol and differ only in which route announcements a node
@@ -15,6 +16,19 @@
 // delivered over a link counts as one control message. The simulation runs
 // to quiescence — guaranteed because a node only re-advertises on a strict
 // distance improvement.
+//
+// Dynamics (config.scenario != nullptr): each table entry remembers the
+// neighbor it was learned from, so when a scripted event removes topology
+// the simulator can replay the protocol's withdrawal cascade — an entry is
+// invalidated when its learned-from chain no longer reaches the origin
+// over live links with consistent distances, each inherited invalidation
+// is charged as one withdrawal message, and neighbors holding surviving
+// routes re-announce them (triggered updates), from which the normal
+// strict-improvement machinery re-converges. Healed links and rejoining
+// nodes exchange full tables. A final revalidation pass runs at quiescence
+// until a fixed point, so announcements that were in flight across a
+// failure can never leave a stale entry behind. A null (empty) scenario
+// leaves every byte of the static behavior unchanged.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +39,7 @@
 #include "graph/graph.h"
 #include "routing/landmarks.h"
 #include "routing/params.h"
+#include "sim/scenario.h"
 
 namespace disco {
 
@@ -34,12 +49,34 @@ enum class PvMode {
   kS4,          // landmarks + cluster rule (d(v,w) ≤ d(w, l_w))
 };
 
+/// One sampled point of a dynamic run: cumulative counters at the moment a
+/// scenario event has just been applied (and once more at quiescence).
+struct PvTracePoint {
+  double time = 0;
+  std::uint64_t messages = 0;     // cumulative, withdrawals included
+  std::uint64_t withdrawals = 0;  // cumulative withdrawal share
+  std::uint64_t table_entries = 0;  // live entries across live nodes
+};
+
 struct PvResult {
   std::uint64_t total_messages = 0;
   double messages_per_node = 0;
   double convergence_time = 0;  // simulated time of the last delivery
+  /// Withdrawal messages charged by scenario invalidation cascades
+  /// (included in total_messages; 0 for static runs).
+  std::uint64_t total_withdrawals = 0;
   /// Final table: per node, the accepted origins and route distances.
   std::vector<std::unordered_map<NodeId, Dist>> tables;
+  /// Per node, whether it is a live member at quiescence (all 1 for static
+  /// runs and healing scenarios). Departed nodes have empty tables.
+  std::vector<std::uint8_t> alive;
+  /// One point per applied scenario event, plus a final point at
+  /// quiescence. Empty for static runs.
+  std::vector<PvTracePoint> trace;
+  /// Final next hop (learned-from neighbor) per table entry; own-origin
+  /// entries map to the node itself. Filled only when
+  /// PvConfig::keep_next_hops is set.
+  std::vector<std::unordered_map<NodeId, NodeId>> next_hops;
 };
 
 struct PvConfig {
@@ -50,6 +87,12 @@ struct PvConfig {
   /// from `params`.
   const LandmarkSet* landmarks = nullptr;
   Params params;
+  /// Scripted dynamics; must outlive the call. nullptr (or an empty
+  /// schedule) runs the static protocol, byte-identical to before the
+  /// scenario layer existed.
+  const Scenario* scenario = nullptr;
+  /// Export PvResult::next_hops (costs memory; off by default).
+  bool keep_next_hops = false;
 };
 
 /// Runs the protocol to convergence and returns message counts + tables.

@@ -1,0 +1,158 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "runtime/rng_stream.h"
+
+namespace disco {
+namespace {
+
+// Scenario draws fork off a salted stream so they never correlate with the
+// simulator's own link-delay stream (pv_sim salts with a different
+// constant) even when both derive from the same experiment seed.
+constexpr std::uint64_t kScenarioSalt = 0x5ce7a110c0ffee00ULL;
+
+// `count` distinct uniform draws from [0, bound), in draw order.
+template <typename Id>
+std::vector<Id> DistinctDraws(Rng* rng, std::uint64_t bound,
+                              std::size_t count) {
+  std::vector<Id> out;
+  std::unordered_set<std::uint64_t> seen;
+  count = std::min<std::size_t>(count, bound);
+  while (out.size() < count) {
+    const std::uint64_t v = rng->NextBelow(bound);
+    if (seen.insert(v).second) out.push_back(static_cast<Id>(v));
+  }
+  return out;
+}
+
+std::size_t ScaledCount(double fraction, std::size_t total) {
+  const auto raw = static_cast<std::size_t>(fraction *
+                                            static_cast<double>(total));
+  return std::max<std::size_t>(1, std::min(raw, total));
+}
+
+// The links a correlated (shared-risk) failure takes down: one uniformly
+// drawn link plus every link sharing an endpoint with it.
+std::vector<EdgeId> SharedRiskGroup(const Graph& g, Rng* rng) {
+  const EdgeId seed_edge =
+      static_cast<EdgeId>(rng->NextBelow(g.num_edges()));
+  const WeightedEdge& we = g.edge(seed_edge);
+  std::set<EdgeId> group;  // ordered, so the event list is deterministic
+  for (const NodeId endpoint : {we.a, we.b}) {
+    for (const Neighbor& nb : g.neighbors(endpoint)) group.insert(nb.edge);
+  }
+  return {group.begin(), group.end()};
+}
+
+// The cut set isolating a BFS-grown region of roughly `target` nodes
+// around a uniformly drawn root.
+std::vector<EdgeId> PartitionCut(const Graph& g, Rng* rng,
+                                 std::size_t target) {
+  const NodeId root = static_cast<NodeId>(rng->NextBelow(g.num_nodes()));
+  std::vector<char> inside(g.num_nodes(), 0);
+  std::vector<NodeId> frontier = {root};
+  inside[root] = 1;
+  std::size_t grown = 1;
+  for (std::size_t head = 0; head < frontier.size() && grown < target;
+       ++head) {
+    for (const Neighbor& nb : g.neighbors(frontier[head])) {
+      if (inside[nb.to] || grown >= target) continue;
+      inside[nb.to] = 1;
+      frontier.push_back(nb.to);
+      ++grown;
+    }
+  }
+  std::set<EdgeId> cut;
+  for (const NodeId v : frontier) {
+    for (const Neighbor& nb : g.neighbors(v)) {
+      if (!inside[nb.to]) cut.insert(nb.edge);
+    }
+  }
+  return {cut.begin(), cut.end()};
+}
+
+}  // namespace
+
+const std::vector<std::string>& ScenarioKinds() {
+  static const std::vector<std::string> kinds = {
+      "null", "churn", "linkfail", "correlated", "partition"};
+  return kinds;
+}
+
+bool IsScenarioKind(const std::string& kind) {
+  const auto& kinds = ScenarioKinds();
+  return std::find(kinds.begin(), kinds.end(), kind) != kinds.end();
+}
+
+Scenario Scenario::Compile(const ScenarioSpec& spec, const Graph& g,
+                           std::uint64_t seed, std::uint64_t replica) {
+  Scenario sc;
+  if (spec.kind == "null" || spec.events == 0 || g.num_nodes() == 0) {
+    return sc;
+  }
+  // Every non-churn kind draws links; an edgeless graph has nothing to
+  // disturb (and NextBelow(0) would be UB).
+  if (spec.kind != "churn" && g.num_edges() == 0) return sc;
+  Rng rng = runtime::TaskRng(seed ^ kScenarioSalt, replica);
+
+  double t = spec.start;
+  for (std::size_t i = 0; i < spec.events; ++i) {
+    // Each disturbance draws from its own fork so inserting an event kind
+    // never shifts the draws of later events.
+    Rng event_rng = rng.Fork(i);
+    ScenarioEvent disturb, recover;
+    disturb.time = t;
+    recover.time = t + spec.spacing;
+    t += 2 * spec.spacing;
+
+    if (spec.kind == "churn") {
+      const auto leavers = DistinctDraws<NodeId>(
+          &event_rng, g.num_nodes(),
+          ScaledCount(spec.fraction, g.num_nodes()));
+      disturb.node_leaves = leavers;
+      recover.node_joins = leavers;
+    } else if (spec.kind == "linkfail") {
+      const auto failed = DistinctDraws<EdgeId>(
+          &event_rng, g.num_edges(),
+          ScaledCount(spec.fraction, g.num_edges()));
+      disturb.link_fails = failed;
+      recover.link_heals = failed;
+    } else if (spec.kind == "correlated") {
+      const auto group = SharedRiskGroup(g, &event_rng);
+      disturb.link_fails = group;
+      recover.link_heals = group;
+    } else {  // partition
+      const auto cut = PartitionCut(g, &event_rng, g.num_nodes() / 2);
+      disturb.link_fails = cut;
+      recover.link_heals = cut;
+    }
+
+    const bool last = i + 1 == spec.events;
+    sc.events_.push_back(std::move(disturb));
+    if (spec.heal || !last) sc.events_.push_back(std::move(recover));
+  }
+  return sc;
+}
+
+std::vector<NodeId> Scenario::FinalDepartedNodes() const {
+  std::set<NodeId> departed;
+  for (const ScenarioEvent& ev : events_) {
+    for (const NodeId v : ev.node_leaves) departed.insert(v);
+    for (const NodeId v : ev.node_joins) departed.erase(v);
+  }
+  return {departed.begin(), departed.end()};
+}
+
+std::vector<EdgeId> Scenario::FinalFailedLinks() const {
+  std::set<EdgeId> failed;
+  for (const ScenarioEvent& ev : events_) {
+    for (const EdgeId e : ev.link_fails) failed.insert(e);
+    for (const EdgeId e : ev.link_heals) failed.erase(e);
+  }
+  return {failed.begin(), failed.end()};
+}
+
+}  // namespace disco

@@ -1,0 +1,96 @@
+// Scripted dynamics scenarios for the discrete-event simulator.
+//
+// A Scenario is a deterministic schedule of topology disturbances — node
+// join/leave churn, single and correlated link failures, partition/heal
+// events — compiled from a ScenarioSpec, a graph, and a (seed, replica)
+// pair. Compilation is a pure function of those inputs, with every random
+// choice drawn from the per-replica TaskRng stream (runtime/rng_stream.h):
+// replica r's schedule is the same whether a campaign runs 1 replica or
+// 100, on one thread or a process pool, which is what lets replicated DES
+// campaigns reduce to byte-identical tables on any backend.
+//
+// Events only toggle elements of the original graph (a departed node
+// rejoins with its original links; a failed link heals with its original
+// weight and delay), so a healing scenario ends on exactly the starting
+// topology and convergence invariants can be checked against it. With
+// spec.heal = false the final disturbance persists, leaving a residual
+// topology — the shape the churn-conformance tests exercise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace disco {
+
+/// The scenario families a campaign can script. "null" compiles to an
+/// empty schedule: a simulation driven by it is byte-identical to a static
+/// (scenario-free) run.
+///   null        no events
+///   churn       batches of random nodes leave, then rejoin
+///   linkfail    independent random link failures, then heals
+///   correlated  a shared-risk group fails at once: one random link plus
+///               every link sharing an endpoint with it
+///   partition   a BFS-grown region is cut off (every crossing link
+///               fails), then the cut heals
+const std::vector<std::string>& ScenarioKinds();
+bool IsScenarioKind(const std::string& kind);
+
+struct ScenarioSpec {
+  std::string kind = "null";
+  /// Number of disturbance events (each paired with a recovery event when
+  /// `heal` is set).
+  std::size_t events = 2;
+  /// Fraction of nodes (churn) or links (linkfail) disturbed per event.
+  double fraction = 0.05;
+  /// Simulated time of the first disturbance.
+  double start = 30.0;
+  /// Time between a disturbance and its recovery, and between consecutive
+  /// disturbance pairs. Must exceed the maximum link delay (1.5) so a
+  /// message can never be in flight across two disturbances at once.
+  double spacing = 4.0;
+  /// When false, the last disturbance is never healed and the simulation
+  /// quiesces on the residual topology.
+  bool heal = true;
+};
+
+/// One scripted topology change. Node ids and edge ids refer to the
+/// original graph; a join/heal always reverses an earlier leave/fail.
+struct ScenarioEvent {
+  double time = 0;
+  std::vector<NodeId> node_leaves;
+  std::vector<NodeId> node_joins;
+  std::vector<EdgeId> link_fails;
+  std::vector<EdgeId> link_heals;
+};
+
+/// A compiled, replayable schedule for one replica. Pure value type.
+class Scenario {
+ public:
+  Scenario() = default;
+
+  /// Compiles `spec` against `g` for one replica. Deterministic: every
+  /// draw comes from TaskRng(seed, replica) forks, so the result depends
+  /// on nothing but the four arguments.
+  static Scenario Compile(const ScenarioSpec& spec, const Graph& g,
+                          std::uint64_t seed, std::uint64_t replica);
+
+  const std::vector<ScenarioEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Nodes that are still departed once every event has fired (empty for
+  /// healing scenarios).
+  std::vector<NodeId> FinalDepartedNodes() const;
+
+  /// Edges still failed once every event has fired, including the links of
+  /// finally-departed nodes' neighbors only if scripted as link events.
+  std::vector<EdgeId> FinalFailedLinks() const;
+
+ private:
+  std::vector<ScenarioEvent> events_;  // ascending in time
+};
+
+}  // namespace disco

@@ -14,7 +14,9 @@
 #include "api/schemes.h"
 #include "graph/generators.h"
 #include "graph/shortest_path.h"
+#include "sim/campaign.h"
 #include "sim/metrics.h"
+#include "sim/scenario.h"
 #include "util/rng.h"
 
 namespace disco {
@@ -134,6 +136,58 @@ TEST_P(SchemeConformance, TwoBuildsWithSameSeedAreIdentical) {
       const Route rb = b->route_fn(phase)(s, t);
       EXPECT_EQ(ra.path, rb.path) << GetParam() << " " << s << "->" << t;
       EXPECT_EQ(ra.length, rb.length);
+    }
+  }
+}
+
+// Dynamics conformance: every registered scheme's protocol plane must
+// survive a small churn scenario that leaves some members departed — the
+// simulation quiesces, departed nodes end flushed, no surviving table
+// routes toward a departed origin, and every surviving next hop is a live
+// neighbor. This is the API-level guarantee the sweep's scenario axis
+// relies on.
+TEST_P(SchemeConformance, SurvivesChurnWithoutRoutingToDepartedNodes) {
+  const Graph g = TestGraph();
+  ScenarioSpec scenario;
+  scenario.kind = "churn";
+  scenario.events = 2;
+  scenario.fraction = 0.08;
+  scenario.start = 25.0;
+  scenario.spacing = 4.0;
+  scenario.heal = false;  // the last batch of leavers stays gone
+
+  CampaignSpec spec;
+  spec.graph = &g;
+  spec.base.mode = PvModeForScheme(GetParam());
+  spec.base.params = TestParams();
+  spec.base.keep_next_hops = true;
+  spec.scenario = scenario;
+  PvResult sim;
+  RunReplica(spec, 0, &sim);
+
+  const Scenario sc = Scenario::Compile(scenario, g, kSeed, 0);
+  const auto departed = sc.FinalDepartedNodes();
+  ASSERT_FALSE(departed.empty());
+  std::vector<char> gone(g.num_nodes(), 0);
+  for (const NodeId v : departed) gone[v] = 1;
+
+  for (const NodeId v : departed) {
+    EXPECT_EQ(sim.alive[v], 0) << GetParam() << " node " << v;
+    EXPECT_TRUE(sim.tables[v].empty()) << GetParam() << " node " << v;
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!sim.alive[v]) continue;
+    EXPECT_FALSE(sim.tables[v].empty()) << GetParam() << " node " << v;
+    for (const auto& [origin, dist] : sim.tables[v]) {
+      EXPECT_FALSE(gone[origin])
+          << GetParam() << ": " << v << " still holds departed origin "
+          << origin;
+      if (origin == v) continue;
+      const NodeId hop = sim.next_hops[v].at(origin);
+      EXPECT_FALSE(gone[hop])
+          << GetParam() << ": " << v << " -> " << origin
+          << " next hop is departed node " << hop;
+      (void)dist;
     }
   }
 }

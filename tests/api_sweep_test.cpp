@@ -175,6 +175,83 @@ TEST(SweepMerge, SpecFingerprintGuardsAgainstMixedSweeps) {
   EXPECT_NE(error.find("no #spec line"), std::string::npos) << error;
 }
 
+TEST(SweepGrid, ScenarioAxisExpandsInnermost) {
+  api::SweepSpec spec = MiniSpec();
+  spec.scenarios = {"null", "churn"};
+  const auto grid = api::ExpandGrid(spec);
+  ASSERT_EQ(grid.size(), 1u * 1u * 2u * 2u * 2u);
+  EXPECT_EQ(grid[0].scenario, "null");
+  EXPECT_EQ(grid[1].scenario, "churn");
+  EXPECT_EQ(grid[0].scheme, grid[1].scheme);
+  EXPECT_EQ(grid[2].scheme, "s4");
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(grid[i].index, i);
+  }
+}
+
+TEST(SweepRun, ScenarioCellsCarryReducedDesColumns) {
+  api::SweepSpec spec = MiniSpec();
+  spec.sizes = {64};
+  spec.seeds = {1};
+  spec.schemes = {"s4"};
+  spec.scenarios = {"null", "linkfail"};
+  spec.replicas = 2;
+  spec.pairs = 10;
+  const auto grid = api::ExpandGrid(spec);
+  ASSERT_EQ(grid.size(), 2u);
+
+  const auto columns = [](const std::string& row) {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= row.size()) {
+      std::size_t end = row.find_first_of("\t\n", pos);
+      if (end == std::string::npos) end = row.size();
+      out.push_back(row.substr(pos, end - pos));
+      pos = end + 1;
+      if (pos >= row.size()) break;
+    }
+    return out;
+  };
+  const std::string null_row = api::RunSweepCell(grid[0], spec);
+  const std::string des_row = api::RunSweepCell(grid[1], spec);
+  const auto header_cols = columns(api::SweepHeader());
+  const auto null_cols = columns(null_row);
+  const auto des_cols = columns(des_row);
+  ASSERT_EQ(null_cols.size(), header_cols.size());
+  ASSERT_EQ(des_cols.size(), header_cols.size());
+  EXPECT_EQ(null_cols[6], "null");
+  EXPECT_EQ(des_cols[6], "linkfail");
+  // Static columns are identical — the scenario axis never perturbs the
+  // converged-scheme measurements — while the DES columns light up only
+  // for the non-null cell.
+  for (std::size_t c = 7; c < 16; ++c) {
+    EXPECT_EQ(null_cols[c], des_cols[c]) << header_cols[c];
+  }
+  EXPECT_EQ(null_cols[16], "0");       // conv_time_mean
+  EXPECT_NE(des_cols[16], "0");
+  EXPECT_NE(des_cols[18], "0");        // des_msgs_node_mean
+}
+
+TEST(SweepMerge, ScenarioAxisIsPartOfTheFingerprint) {
+  api::SweepSpec spec = MiniSpec();
+  api::SweepSpec other = MiniSpec();
+  other.scenarios = {"null", "partition"};
+  const std::string sig = api::SweepSignature(spec);
+  const std::string other_sig = api::SweepSignature(other);
+  ASSERT_NE(sig, other_sig);
+  const std::string header = api::SweepHeader();
+  std::string error;
+  EXPECT_EQ(api::MergeShardContents({sig + header + "0\ta\n",
+                                     other_sig + header + "1\tb\n"},
+                                    &error),
+            "");
+  EXPECT_NE(error.find("field \"scenarios\""), std::string::npos) << error;
+
+  api::SweepSpec more_replicas = MiniSpec();
+  more_replicas.replicas = 4;
+  EXPECT_NE(api::SweepSignature(more_replicas), sig);
+}
+
 TEST(SweepTopologies, FamiliesAreBuildable) {
   for (const std::string& family : api::SweepTopologyFamilies()) {
     const Graph g = api::MakeSweepTopology(family, 64, 1);

@@ -4,6 +4,7 @@
 
 #include "graph/generators.h"
 #include "graph/shortest_path.h"
+#include "sim/scenario.h"
 #include "test_util.h"
 
 namespace disco {
@@ -117,6 +118,154 @@ TEST(PvSim, DeterministicPerSeed) {
   const auto b = SimulatePathVector(g, Config(PvMode::kPathVector, 15));
   EXPECT_EQ(a.total_messages, b.total_messages);
   EXPECT_DOUBLE_EQ(a.convergence_time, b.convergence_time);
+}
+
+// The scenario hook must be a strict superset: wiring a compiled null
+// scenario (or none at all) into the config changes nothing — counters,
+// convergence time, and every table entry stay bit-identical.
+TEST(PvSim, NullScenarioIsByteIdenticalToStaticRun) {
+  const Graph g = ConnectedGnm(128, 512, 19);
+  ScenarioSpec null_spec;  // kind defaults to "null"
+  const Scenario sc = Scenario::Compile(null_spec, g, 19, 0);
+  ASSERT_TRUE(sc.empty());
+  PvConfig with = Config(PvMode::kNdDisco, 19);
+  with.scenario = &sc;
+  const PvResult a = SimulatePathVector(g, with);
+  const PvResult b = SimulatePathVector(g, Config(PvMode::kNdDisco, 19));
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_DOUBLE_EQ(a.convergence_time, b.convergence_time);
+  EXPECT_EQ(a.total_withdrawals, 0u);
+  EXPECT_TRUE(a.trace.empty());
+  ASSERT_EQ(a.tables.size(), b.tables.size());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_TRUE(a.tables[v] == b.tables[v]) << v;
+    EXPECT_EQ(a.alive[v], 1);
+  }
+}
+
+namespace {
+
+ScenarioSpec HealingSpec(const std::string& kind) {
+  ScenarioSpec spec;
+  spec.kind = kind;
+  spec.events = 2;
+  spec.fraction = 0.1;
+  spec.start = 25.0;
+  spec.spacing = 4.0;
+  return spec;
+}
+
+}  // namespace
+
+// Convergence invariant: after a healing scenario quiesces, every
+// surviving table entry re-validates against the restored topology — its
+// next-hop chain reaches the origin over live edges with exactly
+// consistent distances (checked here via the exported next hops). The one
+// sanctioned exception: a kNdDisco predecessor may have evicted a
+// non-landmark origin from its bounded vicinity with no withdrawal — the
+// downstream route stays (the announcement carried a concrete path), so
+// only the learned-from adjacency is checkable there.
+TEST(PvSim, RoutesRevalidateAfterHealingQuiescence) {
+  const Graph g = ConnectedGnm(96, 384, 21);
+  Params p;
+  p.seed = 21;
+  const LandmarkSet lms = SelectLandmarks(g.num_nodes(), p);
+  for (const PvMode mode :
+       {PvMode::kPathVector, PvMode::kNdDisco, PvMode::kS4}) {
+    const Scenario sc =
+        Scenario::Compile(HealingSpec("churn"), g, 21, 0);
+    PvConfig cfg = Config(mode, 21);
+    cfg.scenario = &sc;
+    cfg.keep_next_hops = true;
+    const PvResult r = SimulatePathVector(g, cfg);
+    ASSERT_EQ(r.next_hops.size(), g.num_nodes());
+
+    const auto edge_weight = [&](NodeId u, NodeId v) -> Dist {
+      for (const Neighbor& nb : g.neighbors(u)) {
+        if (nb.to == v) return nb.weight;
+      }
+      return -1;
+    };
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (const auto& [origin, dist] : r.tables[v]) {
+        if (origin == v) continue;
+        const NodeId hop = r.next_hops[v].at(origin);
+        const Dist w = edge_weight(hop, v);
+        ASSERT_GE(w, 0) << "next hop " << hop << " of " << v
+                        << " is not a neighbor";
+        const auto up = r.tables[hop].find(origin);
+        if (up == r.tables[hop].end()) {
+          EXPECT_TRUE(mode == PvMode::kNdDisco && !lms.Contains(origin))
+              << v << " learned " << origin << " from " << hop
+              << " which no longer holds it";
+          continue;
+        }
+        EXPECT_EQ(dist, up->second + w)
+            << v << " -> " << origin << " via " << hop;
+      }
+    }
+  }
+}
+
+// During healing the cumulative message count only grows, and each trace
+// point's withdrawal share never exceeds the message total.
+TEST(PvSim, MessageCountsAreMonotoneDuringHealing) {
+  const Graph g = ConnectedGnm(96, 384, 23);
+  const Scenario sc =
+      Scenario::Compile(HealingSpec("partition"), g, 23, 0);
+  PvConfig cfg = Config(PvMode::kPathVector, 23);
+  cfg.scenario = &sc;
+  const PvResult r = SimulatePathVector(g, cfg);
+  ASSERT_EQ(r.trace.size(), sc.events().size() + 1);
+  for (std::size_t i = 0; i < r.trace.size(); ++i) {
+    EXPECT_LE(r.trace[i].withdrawals, r.trace[i].messages);
+    if (i > 0) {
+      EXPECT_GE(r.trace[i].messages, r.trace[i - 1].messages);
+      EXPECT_GE(r.trace[i].withdrawals, r.trace[i - 1].withdrawals);
+    }
+  }
+  EXPECT_EQ(r.trace.back().messages, r.total_messages);
+  EXPECT_GT(r.total_withdrawals, 0u);
+  // Healing restored the full graph, so the final table census matches
+  // the static protocol's entry count exactly.
+  const PvResult static_run =
+      SimulatePathVector(g, Config(PvMode::kPathVector, 23));
+  std::uint64_t static_entries = 0;
+  for (const auto& t : static_run.tables) static_entries += t.size();
+  EXPECT_EQ(r.trace.back().table_entries, static_entries);
+}
+
+// Golden-trace regression for one fixed 64-node scenario: pins the exact
+// event count, message totals, and per-event trace counters so any
+// change to event ordering, withdrawal accounting, or the invalidation
+// cascade is caught as a diff, not a silent drift. If a deliberate
+// semantic change moves these numbers, re-capture them by printing the
+// PvResult of this exact configuration.
+TEST(PvSim, GoldenTraceForFixed64NodeScenario) {
+  const Graph g = ConnectedGnm(64, 256, 31);
+  ScenarioSpec spec = HealingSpec("linkfail");
+  const Scenario sc = Scenario::Compile(spec, g, 31, 0);
+  ASSERT_EQ(sc.events().size(), 4u);  // 2 disturbances + 2 heals
+  PvConfig cfg = Config(PvMode::kPathVector, 31);
+  cfg.scenario = &sc;
+  const PvResult r = SimulatePathVector(g, cfg);
+
+  // Golden values, captured from the first verified implementation.
+  EXPECT_EQ(r.total_messages, 70132u);
+  EXPECT_EQ(r.total_withdrawals, 847u);
+  EXPECT_NEAR(r.convergence_time, 40.756398076, 1e-6);
+  ASSERT_EQ(r.trace.size(), 5u);
+  const std::uint64_t golden_messages[5] = {39870u, 49048u, 54977u,
+                                            64220u, 70132u};
+  const std::uint64_t golden_withdrawals[5] = {419u, 419u, 847u, 847u,
+                                               847u};
+  const std::uint64_t golden_entries[5] = {3316u, 4096u, 3237u, 4096u,
+                                           4096u};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(r.trace[i].messages, golden_messages[i]) << i;
+    EXPECT_EQ(r.trace[i].withdrawals, golden_withdrawals[i]) << i;
+    EXPECT_EQ(r.trace[i].table_entries, golden_entries[i]) << i;
+  }
 }
 
 TEST(PvSim, ProvidedLandmarksAreUsed) {

@@ -4,9 +4,11 @@
 #   usage: sweep_smoke.sh <path-to-disco_sweep>
 set -euo pipefail
 
-BIN="$1"
+BIN="$(cd "$(dirname "$1")" && pwd)/$(basename "$1")"
 dir="$(mktemp -d)"
-trap 'rm -rf "$dir"' EXIT
+cleanup() { cd / && rm -rf "$dir"; }
+trap cleanup EXIT
+cd "$dir"
 
 "$BIN" --quick --out="$dir/single" > /dev/null
 "$BIN" --quick --shard=0/2 --out="$dir/sharded" > /dev/null
