@@ -12,6 +12,7 @@
 #include "graph/generators.h"
 #include "runtime/thread_pool.h"
 #include "sim/metrics.h"
+#include "store/artifact_store.h"
 
 namespace disco::bench {
 namespace {
@@ -44,6 +45,8 @@ std::string JoinNames(const std::vector<std::string>& names) {
       "                   (default, in-process) or procs (worker pool)\n"
       "  --workers=<int>  worker subprocesses for --backend=procs\n"
       "                   (default: one per hardware thread)\n"
+      "  --store=<dir>    artifact store with prebuilt landmark trees\n"
+      "                   (prebuild with disco_store; wall-clock only)\n"
       "  --worker=<job>   internal: serve one executor job as a worker\n"
       "  --full           run at the paper's full scale\n"
       "  --quick          shrink everything (CI smoke scale)\n"
@@ -51,6 +54,31 @@ std::string JoinNames(const std::vector<std::string>& names) {
       prog, JoinNames(api::RegisteredSchemes()).c_str(),
       extra_usage != nullptr ? extra_usage : "");
   std::exit(code);
+}
+
+// Registered via atexit when --store= is given: the tier traffic summary
+// the store satellites report. Goes to stderr so stdout (and therefore
+// store vs storeless byte-identity) is untouched. Counters are
+// process-local: executor workers (suppressed below, to keep procs runs
+// from interleaving one line per worker) do their tree work in their own
+// processes, so under --backend=procs the driver's numbers cover only
+// its own process — the line says so rather than reporting a misleading
+// dijkstra=0 for work the workers actually did.
+bool g_store_run_uses_procs = false;
+
+void PrintStoreCountersAtExit() {
+  if (exec::InWorkerMode()) return;
+  const store::StoreCounters& c = store::Counters();
+  std::fprintf(stderr,
+               "[store] landmark trees: ram=%llu disk=%llu dijkstra=%llu "
+               "writeback=%llu%s\n",
+               static_cast<unsigned long long>(c.tree_ram_hits.load()),
+               static_cast<unsigned long long>(c.tree_store_hits.load()),
+               static_cast<unsigned long long>(c.tree_dijkstras.load()),
+               static_cast<unsigned long long>(c.tree_writebacks.load()),
+               g_store_run_uses_procs
+                   ? " (driver process only; procs workers keep their own)"
+                   : "");
 }
 
 }  // namespace
@@ -111,6 +139,15 @@ Args Args::Parse(int argc, char** argv, const char* extra_usage,
       exec::EnterWorkerMode(static_cast<std::size_t>(job));
     } else if (const char* v = value_of("--out=")) {
       a.out = v;
+    } else if (const char* v = value_of("--store=")) {
+      std::string err;
+      if (*v == '\0' || !store::OpenProcessStore(v, &err)) {
+        std::fprintf(stderr, "cannot open --store directory \"%s\"%s%s\n", v,
+                     err.empty() ? "" : ": ", err.c_str());
+        std::exit(2);
+      }
+      if (a.store.empty()) std::atexit(PrintStoreCountersAtExit);
+      a.store = v;
     } else if (const char* v = value_of("--schemes=")) {
       a.schemes = api::SplitSchemeList(v);
       if (a.schemes.empty()) {
@@ -149,6 +186,9 @@ Args Args::Parse(int argc, char** argv, const char* extra_usage,
   }
   if (a.threads > 0) {
     runtime::ThreadPool::ResetShared(static_cast<std::size_t>(a.threads));
+  }
+  if (!a.store.empty() && a.backend == exec::Backend::kProcs) {
+    g_store_run_uses_procs = true;
   }
   return a;
 }

@@ -24,6 +24,10 @@
 //   --backend=<b>    execution backend: threads (in-process, default) or
 //                    procs (worker subprocesses; see src/exec/)
 //   --workers=<k>    subprocess count for --backend=procs
+//   --store=<dir>    artifact store with prebuilt landmark trees
+//                    (src/store/; prebuild with disco_store). Wall-clock
+//                    only: output stays byte-identical to a storeless
+//                    run; tier counters go to stderr at exit.
 //   --full           run at the paper's full scale (larger and slower)
 //   --quick          shrink everything (used by CI smoke runs)
 #pragma once
@@ -64,6 +68,11 @@ struct Args {
   exec::Backend backend = exec::Backend::kThreads;
   /// Worker subprocess count for the procs backend (--workers=, 0 = auto).
   std::size_t workers = 0;
+  /// Artifact store directory (--store=); "" = no store. Parse opens it
+  /// as the process store, so every LandmarkTreeCache built afterwards —
+  /// including in procs-backend workers, which re-parse this argv — loads
+  /// prebuilt trees instead of recomputing them.
+  std::string store;
   /// This process's argv, verbatim — the procs backend re-invokes it (plus
   /// --worker=<job>) to create workers.
   std::vector<std::string> raw_argv;

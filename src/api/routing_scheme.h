@@ -73,7 +73,10 @@ class RoutingScheme {
 
   /// Bulk-computes whatever converged structures a sweep from `sources`
   /// to arbitrary destinations will fault in anyway (landmark trees,
-  /// source vicinities). Wall-clock only; never changes results.
+  /// source vicinities). Wall-clock only; never changes results. With a
+  /// process artifact store attached (--store=, src/store/), prewarming
+  /// resolves landmark trees from disk instead of recomputing them —
+  /// loaded structures are bit-identical, so the contract is unchanged.
   virtual void PrewarmFor(const std::vector<NodeId>& sources);
 
   /// Bridges to the sim/metrics.h harness (SampleStretch,

@@ -24,7 +24,12 @@
 // then exits. This is what lets one binary be both driver and worker with
 // no separate task-description format: the task function itself is
 // reconstructed from argv. Consequently the sequence of Run calls a
-// binary makes must be deterministic given argv.
+// binary makes must be deterministic given argv. A useful corollary:
+// process-wide resources the arg parser opens are shared by the whole
+// pool — e.g. --store= (src/store/) makes every worker resolve prebuilt
+// landmark trees from the same artifact store instead of replaying
+// construction, which is how paper-scale sweeps avoid per-worker
+// Dijkstra storms.
 //
 // Worker wire protocol (see process_executor.cpp):
 //   parent -> worker (stdin):  "T <index>\n"  run task <index>

@@ -1,9 +1,13 @@
 #include "graph/io.h"
 
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
 #include <vector>
+
+#include "util/bytes.h"
+#include "util/sha256.h"
 
 namespace disco {
 
@@ -43,6 +47,103 @@ bool SaveEdgeList(const Graph& g, const std::string& path) {
     f << we.a << ' ' << we.b << ' ' << we.weight << '\n';
   }
   return static_cast<bool>(f);
+}
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'D', 'G', 'S', 'N', 'v', '0', '1',
+                                    '\n'};
+
+std::uint64_t WeightBits(Dist w) {
+  std::uint64_t bits;
+  static_assert(sizeof(Dist) == sizeof bits, "Dist must be a 64-bit float");
+  std::memcpy(&bits, &w, sizeof bits);
+  return bits;
+}
+
+// The defining data both the fingerprint and the snapshot serialize: node
+// count, edge count, then each edge as (a, b, weight bit pattern) in
+// EdgeId order. Everything downstream (CSR, interface indices, EdgeIds)
+// is a deterministic function of exactly this.
+void AppendDefinition(std::string* out, const Graph& g) {
+  PutU32Le(out, g.num_nodes());
+  PutU64Le(out, g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const WeightedEdge& we = g.edge(e);
+    PutU32Le(out, we.a);
+    PutU32Le(out, we.b);
+    PutU64Le(out, WeightBits(we.weight));
+  }
+}
+
+}  // namespace
+
+std::string GraphFingerprintHex(const Graph& g) {
+  std::string def;
+  def.reserve(12 + 16 * g.num_edges());
+  AppendDefinition(&def, g);
+  Sha256 h;
+  h.Update("disco-graph-v1");
+  h.Update(def);
+  return Sha256HexOf(h.Finalize());
+}
+
+std::string GraphSnapshotBytes(const Graph& g) {
+  std::string out;
+  out.reserve(sizeof kSnapshotMagic + 12 + 16 * g.num_edges() + 32);
+  out.append(kSnapshotMagic, sizeof kSnapshotMagic);
+  AppendDefinition(&out, g);
+  const Sha256Digest d = Sha256Hash(out);
+  out.append(reinterpret_cast<const char*>(d.data()), d.size());
+  return out;
+}
+
+std::optional<Graph> LoadGraphSnapshotBytes(const std::string& bytes) {
+  const std::size_t header = sizeof kSnapshotMagic + 4 + 8;
+  if (bytes.size() < header + 32) return std::nullopt;
+  if (std::memcmp(bytes.data(), kSnapshotMagic, sizeof kSnapshotMagic) !=
+      0) {
+    return std::nullopt;
+  }
+  const auto* p = reinterpret_cast<const std::uint8_t*>(bytes.data());
+  const std::uint32_t n = ReadU32Le(p + sizeof kSnapshotMagic);
+  const std::uint64_t m = ReadU64Le(p + sizeof kSnapshotMagic + 4);
+  if (m > (bytes.size() - header - 32) / 16) return std::nullopt;
+  if (bytes.size() != header + 16 * m + 32) return std::nullopt;
+  const Sha256Digest d = Sha256Hash(
+      std::string_view(bytes.data(), bytes.size() - 32));
+  if (std::memcmp(d.data(), bytes.data() + bytes.size() - 32, 32) != 0) {
+    return std::nullopt;
+  }
+  std::vector<WeightedEdge> edges;
+  edges.reserve(m);
+  const std::uint8_t* e = p + header;
+  for (std::uint64_t i = 0; i < m; ++i, e += 16) {
+    WeightedEdge we;
+    we.a = ReadU32Le(e);
+    we.b = ReadU32Le(e + 4);
+    const std::uint64_t bits = ReadU64Le(e + 8);
+    std::memcpy(&we.weight, &bits, sizeof we.weight);
+    if (we.a >= n || we.b >= n || !(we.weight > 0)) return std::nullopt;
+    edges.push_back(we);
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+bool SaveGraphSnapshot(const Graph& g, const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  const std::string bytes = GraphSnapshotBytes(g);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(f);
+}
+
+std::optional<Graph> LoadGraphSnapshot(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return std::nullopt;
+  std::string bytes((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+  return LoadGraphSnapshotBytes(bytes);
 }
 
 }  // namespace disco

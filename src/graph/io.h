@@ -1,9 +1,15 @@
-// Edge-list I/O so real topology snapshots (e.g. the CAIDA maps the paper
-// uses) can be dropped into any experiment in place of the synthetic
-// stand-ins.
+// Graph I/O: text edge lists, binary snapshots, and fingerprints.
 //
-// Format: one edge per line, "a b [weight]", ids are arbitrary non-negative
-// integers (remapped densely), '#' starts a comment. Weight defaults to 1.
+// Edge lists let real topology snapshots (e.g. the CAIDA maps the paper
+// uses) be dropped into any experiment in place of the synthetic
+// stand-ins. Format: one edge per line, "a b [weight]", ids are arbitrary
+// non-negative integers (remapped densely), '#' starts a comment. Weight
+// defaults to 1.
+//
+// Binary snapshots are the lossless, fast-loading form the artifact store
+// (src/store/) uses: edge order and float weights survive bit-exactly, so
+// a reloaded graph is indistinguishable from the generated original —
+// same CSR, same EdgeIds, same fingerprint.
 #pragma once
 
 #include <optional>
@@ -18,5 +24,23 @@ std::optional<Graph> LoadEdgeList(const std::string& path);
 
 /// Writes g as an edge list. Returns false on I/O failure.
 bool SaveEdgeList(const Graph& g, const std::string& path);
+
+/// SHA-256 (hex) over the graph's defining data: node count and the exact
+/// edge list, weights as IEEE-754 bit patterns. Stable across processes
+/// and thread counts; the artifact store keys every graph-derived object
+/// by it, so a one-bit topology change can never alias a cached artifact.
+std::string GraphFingerprintHex(const Graph& g);
+
+/// Lossless binary snapshot of g (node count + exact edge list). The
+/// bytes round-trip through LoadGraphSnapshotBytes to an identical graph.
+std::string GraphSnapshotBytes(const Graph& g);
+
+/// Rebuilds a graph from GraphSnapshotBytes output; std::nullopt if the
+/// buffer is truncated, mislabeled, or fails its checksum.
+std::optional<Graph> LoadGraphSnapshotBytes(const std::string& bytes);
+
+/// File convenience wrappers around the two above.
+bool SaveGraphSnapshot(const Graph& g, const std::string& path);
+std::optional<Graph> LoadGraphSnapshot(const std::string& path);
 
 }  // namespace disco

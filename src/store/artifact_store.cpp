@@ -1,0 +1,411 @@
+#include "store/artifact_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "util/bytes.h"
+#include "util/sha256.h"
+
+namespace disco::store {
+namespace fs = std::filesystem;
+namespace {
+
+// File layout (all integers little-endian u64):
+//   8B  magic "DARTv01\n"
+//   u64 frame_count
+//   u64 file_size                       (whole-file sanity check)
+//   frame_count x { u64 offset, u64 length, 32B sha256(payload) }
+//   32B sha256 of everything above      (directory checksum)
+//   payloads, each 8-byte aligned, zero padded between
+constexpr char kMagic[8] = {'D', 'A', 'R', 'T', 'v', '0', '1', '\n'};
+constexpr std::size_t kDigestLen = 32;
+
+Sha256Digest DigestOf(const void* data, std::size_t len) {
+  Sha256 h;
+  h.Update(data, len);
+  return h.Finalize();
+}
+
+std::string SerializeObject(const std::vector<std::string>& frames) {
+  std::string dir;
+  dir.append(kMagic, sizeof kMagic);
+  PutU64Le(&dir, frames.size());
+  // magic + frame_count + file_size, then one 48B entry per frame, then
+  // the directory digest. All multiples of 8, so dir_bytes is 8-aligned.
+  const std::size_t dir_bytes = sizeof kMagic + 2 * 8 +
+                                frames.size() * (16 + kDigestLen) +
+                                kDigestLen;
+  std::size_t offset = (dir_bytes + 7) & ~std::size_t{7};
+  std::string payloads;
+  std::string entries;
+  for (const std::string& f : frames) {
+    PutU64Le(&entries, offset);
+    PutU64Le(&entries, f.size());
+    const Sha256Digest d = DigestOf(f.data(), f.size());
+    entries.append(reinterpret_cast<const char*>(d.data()), d.size());
+    payloads.append(offset - dir_bytes - payloads.size(), '\0');
+    payloads.append(f);
+    offset = (offset + f.size() + 7) & ~std::size_t{7};
+  }
+  const std::size_t file_size = dir_bytes + payloads.size();
+  PutU64Le(&dir, file_size);
+  dir += entries;
+  const Sha256Digest head = DigestOf(dir.data(), dir.size());
+  dir.append(reinterpret_cast<const char*>(head.data()), head.size());
+  return dir + payloads;
+}
+
+// Parses and verifies a serialized object already in memory; fills
+// `frames` with (offset, length) pairs. Returns false on any structural
+// or checksum failure.
+bool ValidateObject(const std::uint8_t* base, std::size_t size,
+                    std::vector<std::pair<std::size_t, std::size_t>>* frames) {
+  if (size < sizeof kMagic + 2 * 8 + kDigestLen) return false;
+  if (std::memcmp(base, kMagic, sizeof kMagic) != 0) return false;
+  const std::uint64_t count = ReadU64Le(base + 8);
+  const std::uint64_t file_size = ReadU64Le(base + 16);
+  if (file_size != size) return false;
+  // count is untrusted: bound it before the multiplication below.
+  if (count > size / (16 + kDigestLen)) return false;
+  const std::size_t dir_bytes =
+      sizeof kMagic + 2 * 8 + count * (16 + kDigestLen) + kDigestLen;
+  if (dir_bytes > size) return false;
+  const Sha256Digest head = DigestOf(base, dir_bytes - kDigestLen);
+  if (std::memcmp(head.data(), base + dir_bytes - kDigestLen, kDigestLen) !=
+      0) {
+    return false;
+  }
+  frames->clear();
+  frames->reserve(count);
+  const std::uint8_t* entry = base + sizeof kMagic + 2 * 8;
+  for (std::uint64_t i = 0; i < count; ++i, entry += 16 + kDigestLen) {
+    const std::uint64_t offset = ReadU64Le(entry);
+    const std::uint64_t len = ReadU64Le(entry + 8);
+    if (offset > size || len > size - offset) return false;
+    const Sha256Digest d = DigestOf(base + offset, len);
+    if (std::memcmp(d.data(), entry + 16, kDigestLen) != 0) return false;
+    frames->emplace_back(offset, len);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::unique_ptr<ArtifactReader> ArtifactReader::OpenFile(
+    const std::string& path, bool* corrupt) {
+  if (corrupt != nullptr) *corrupt = false;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return nullptr;
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    if (corrupt != nullptr) *corrupt = true;  // exists but unreadable/empty
+    return nullptr;
+  }
+  std::unique_ptr<ArtifactReader> r(new ArtifactReader());
+  r->map_len_ = static_cast<std::size_t>(st.st_size);
+  void* map = ::mmap(nullptr, r->map_len_, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (map != MAP_FAILED) {
+    r->map_ = map;
+    r->base_ = static_cast<const std::uint8_t*>(map);
+    ::close(fd);
+  } else {
+    // mmap unavailable (exotic filesystem): fall back to a plain read.
+    r->fallback_.resize(r->map_len_);
+    std::size_t got = 0;
+    while (got < r->map_len_) {
+      const ssize_t k =
+          ::read(fd, r->fallback_.data() + got, r->map_len_ - got);
+      if (k <= 0) break;
+      got += static_cast<std::size_t>(k);
+    }
+    ::close(fd);
+    if (got != r->map_len_) {
+      if (corrupt != nullptr) *corrupt = true;
+      return nullptr;
+    }
+    r->base_ = r->fallback_.data();
+  }
+  if (!ValidateObject(r->base_, r->map_len_, &r->frames_)) {
+    if (corrupt != nullptr) *corrupt = true;
+    return nullptr;
+  }
+  return r;
+}
+
+std::string ArtifactKey::Canonical() const {
+  return kind + "|" + graph + "|" + scope + "|v" + std::to_string(version);
+}
+
+std::string ArtifactKey::Id() const {
+  return Sha256HexOf(Sha256Hash(Canonical()));
+}
+
+ArtifactReader::~ArtifactReader() {
+  if (map_ != nullptr) ::munmap(map_, map_len_);
+}
+
+ArtifactStore::ArtifactStore(std::string root) : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(fs::path(root_) / "objects", ec);
+  if (!ec) fs::create_directories(fs::path(root_) / "tmp", ec);
+  if (ec) {
+    error_ = "cannot create store directories under " + root_ + ": " +
+             ec.message();
+    return;
+  }
+  ok_ = true;
+}
+
+std::string ArtifactStore::ObjectPathForId(const std::string& id) const {
+  return root_ + "/objects/" + id.substr(0, 2) + "/" + id + ".art";
+}
+
+std::string ArtifactStore::ObjectPath(const ArtifactKey& key) const {
+  return ObjectPathForId(key.Id());
+}
+
+bool ArtifactStore::Contains(const ArtifactKey& key) const {
+  std::error_code ec;
+  return fs::exists(ObjectPath(key), ec);
+}
+
+void ArtifactStore::AppendIndexLine(const ArtifactKey& key,
+                                    std::uint64_t bytes) const {
+  // One O_APPEND write per line: atomic for short writes, so concurrent
+  // processes interleave whole lines, never fragments.
+  const std::string line = key.Id() + "\t" + key.kind + "\t" +
+                           key.Canonical() + "\t" + std::to_string(bytes) +
+                           "\n";
+  const int fd = ::open((root_ + "/index.log").c_str(),
+                        O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) return;  // advisory only
+  (void)!::write(fd, line.data(), line.size());
+  ::close(fd);
+}
+
+bool ArtifactStore::Put(const ArtifactKey& key,
+                        const std::vector<std::string>& frames,
+                        std::string* error) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string id = key.Id();
+  const std::string bytes = SerializeObject(frames);
+  const std::string final_path = ObjectPathForId(id);
+  const std::string tmp_path =
+      root_ + "/tmp/" + id + "." + std::to_string(::getpid()) + "." +
+      std::to_string(counter.fetch_add(1));
+
+  std::error_code ec;
+  fs::create_directories(fs::path(final_path).parent_path(), ec);
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    ::unlink(tmp_path.c_str());
+    return false;
+  };
+  {
+    std::ofstream f(tmp_path, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!f) return fail("cannot write " + tmp_path);
+  }
+  // rename(2): atomic publish; a racing Put of the same key lands the
+  // same bytes, so whichever rename wins is correct.
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return fail("cannot publish " + final_path + ": " +
+                std::strerror(errno));
+  }
+  AppendIndexLine(key, bytes.size());
+  return true;
+}
+
+std::unique_ptr<ArtifactReader> ArtifactStore::Open(const ArtifactKey& key,
+                                                    bool* corrupt) const {
+  return ArtifactReader::OpenFile(ObjectPath(key), corrupt);
+}
+
+namespace {
+
+struct IndexInfo {
+  std::string kind;
+  std::string canonical;
+};
+
+std::map<std::string, IndexInfo> LoadIndex(const std::string& root) {
+  std::map<std::string, IndexInfo> out;
+  std::ifstream f(root + "/index.log");
+  std::string line;
+  while (std::getline(f, line)) {
+    std::istringstream ls(line);
+    std::string id, kind, canonical;
+    if (std::getline(ls, id, '\t') && std::getline(ls, kind, '\t') &&
+        std::getline(ls, canonical, '\t')) {
+      out[id] = {kind, canonical};
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ListEntry> ArtifactStore::List() const {
+  const std::map<std::string, IndexInfo> index = LoadIndex(root_);
+  std::vector<ListEntry> out;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator
+           it(fs::path(root_) / "objects", ec),
+       end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file(ec) || it->path().extension() != ".art") {
+      continue;
+    }
+    ListEntry e;
+    e.id = it->path().stem().string();
+    struct stat st;
+    if (::stat(it->path().c_str(), &st) != 0) continue;
+    e.bytes = static_cast<std::uint64_t>(st.st_size);
+    e.mtime = st.st_mtime;
+    const auto idx = index.find(e.id);
+    if (idx != index.end()) {
+      e.kind = idx->second.kind;
+      e.canonical = idx->second.canonical;
+    }
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ListEntry& a, const ListEntry& b) { return a.id < b.id; });
+  return out;
+}
+
+ArtifactStore::VerifyResult ArtifactStore::Verify() const {
+  VerifyResult result;
+  for (const ListEntry& e : List()) {
+    ++result.checked;
+    bool corrupt = false;
+    const auto reader = ArtifactReader::OpenFile(ObjectPathForId(e.id), &corrupt);
+    if (reader == nullptr) result.corrupt.push_back(e.id);
+  }
+  return result;
+}
+
+ArtifactStore::GcResult ArtifactStore::Gc(std::uint64_t max_bytes) {
+  GcResult result;
+  std::error_code ec;
+  // Only *abandoned* temp files: a fresh one may be another process's
+  // in-flight Put (gc can run concurrently with live writers), and
+  // deleting it would make that rename fail and silently drop the
+  // write-back. An hour is far beyond any single Put's lifetime.
+  const std::time_t now = std::time(nullptr);
+  for (fs::directory_iterator it(fs::path(root_) / "tmp", ec), end;
+       !ec && it != end; it.increment(ec)) {
+    struct stat st;
+    if (::stat(it->path().c_str(), &st) != 0) continue;
+    if (now - st.st_mtime < 60 * 60) continue;
+    if (fs::remove(it->path(), ec)) ++result.removed_tmp;
+  }
+
+  std::vector<ListEntry> entries = List();
+  std::vector<ListEntry> alive;
+  for (ListEntry& e : entries) {
+    bool corrupt = false;
+    const auto reader = ArtifactReader::OpenFile(ObjectPathForId(e.id), &corrupt);
+    if (reader == nullptr) {
+      fs::remove(ObjectPathForId(e.id), ec);
+      ++result.removed_corrupt;
+      continue;
+    }
+    alive.push_back(std::move(e));
+  }
+
+  if (max_bytes > 0) {
+    // Evict oldest-published first until the budget holds (ids tie-break
+    // so equal timestamps still evict deterministically). Graph
+    // snapshots go last regardless of age: they are the recovery path
+    // (`disco_store build --graph=<fingerprint>`) for everything else,
+    // are published before any tree (so they would otherwise always be
+    // the oldest object), and nothing republishes them automatically.
+    const auto evicts_later = [](const ListEntry& e) {
+      return e.kind == "graph";
+    };
+    std::sort(alive.begin(), alive.end(),
+              [&](const ListEntry& a, const ListEntry& b) {
+                if (evicts_later(a) != evicts_later(b)) {
+                  return evicts_later(b);
+                }
+                return a.mtime != b.mtime ? a.mtime < b.mtime : a.id < b.id;
+              });
+    std::uint64_t total = 0;
+    for (const ListEntry& e : alive) total += e.bytes;
+    std::size_t first_kept = 0;
+    while (first_kept < alive.size() && total > max_bytes) {
+      fs::remove(ObjectPathForId(alive[first_kept].id), ec);
+      total -= alive[first_kept].bytes;
+      ++result.evicted;
+      ++first_kept;
+    }
+    alive.erase(alive.begin(), alive.begin() + first_kept);
+  }
+  for (const ListEntry& e : alive) result.bytes_kept += e.bytes;
+
+  // Compact the advisory index down to the survivors that have labels.
+  const std::string tmp = root_ + "/tmp/index.rewrite";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    for (const ListEntry& e : alive) {
+      if (e.canonical.empty()) continue;
+      f << e.id << '\t' << e.kind << '\t' << e.canonical << '\t' << e.bytes
+        << '\n';
+    }
+  }
+  ::rename(tmp.c_str(), (root_ + "/index.log").c_str());
+  return result;
+}
+
+// --------------------------------------------------------- process store
+
+namespace {
+std::mutex g_process_store_mu;
+std::unique_ptr<ArtifactStore> g_process_store;
+}  // namespace
+
+bool OpenProcessStore(const std::string& dir, std::string* error) {
+  auto store = std::make_unique<ArtifactStore>(dir);
+  if (!store->ok()) {
+    if (error != nullptr) *error = store->error();
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(g_process_store_mu);
+  g_process_store = std::move(store);
+  return true;
+}
+
+ArtifactStore* ProcessStore() {
+  std::lock_guard<std::mutex> lock(g_process_store_mu);
+  return g_process_store.get();
+}
+
+void CloseProcessStoreForTest() {
+  std::lock_guard<std::mutex> lock(g_process_store_mu);
+  g_process_store.reset();
+  Counters().tree_ram_hits = 0;
+  Counters().tree_store_hits = 0;
+  Counters().tree_dijkstras = 0;
+  Counters().tree_writebacks = 0;
+}
+
+StoreCounters& Counters() {
+  static StoreCounters counters;
+  return counters;
+}
+
+}  // namespace disco::store

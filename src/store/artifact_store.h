@@ -1,0 +1,181 @@
+// Content-addressed on-disk artifact store — the build-once/load-many
+// layer behind prewarmed paper-scale runs (ROADMAP: disk-backed landmark
+// trees).
+//
+// Artifacts are keyed by the SHA-256 of a canonical string naming
+// everything the payload is a pure function of: artifact kind, graph
+// fingerprint, a scope discriminator (e.g. landmark set + root), and a
+// format version. Two processes that derive the same key therefore hold
+// byte-identical payloads, which makes every store operation safe under
+// concurrent multi-process access:
+//
+//   * writes go to a unique temp file under the store root and are
+//     published with rename(2) — readers never observe partial objects,
+//     and racing writers of one key overwrite each other with identical
+//     bytes;
+//   * each frame of an object carries its own SHA-256, verified when the
+//     object is opened, so torn or bit-rotted files are detected (and
+//     reparable: a cache that fails to load simply recomputes and
+//     republishes over the corrupt object);
+//   * an append-only index file (O_APPEND line writes) records
+//     human-readable key strings for `disco_store ls`; it is advisory —
+//     the objects directory is the source of truth.
+//
+// Readers are mmap-backed: Open() maps the object file and hands out
+// zero-copy frame views, so loading one 192k-node landmark tree touches
+// only that file's pages instead of materializing anything.
+//
+// Layout under the store root:
+//   objects/<id[0:2]>/<id>.art    one artifact per file (id = key SHA-256)
+//   tmp/                          in-flight writes (unique names)
+//   index.log                     advisory "id \t kind \t key \t bytes"
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ctime>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/span.h"
+
+namespace disco::store {
+
+/// Everything an artifact's bytes are a function of. Id() — the SHA-256
+/// hex of the canonical form — names the object file.
+struct ArtifactKey {
+  std::string kind;        // short token: "ltree", "graph", ...
+  std::string graph;       // hex graph fingerprint (GraphFingerprintHex)
+  std::string scope;       // free-form discriminator, e.g. "set=…;root=7"
+  std::uint32_t version = 0;  // payload format version (codec bumps this)
+
+  std::string Canonical() const;
+  std::string Id() const;
+};
+
+/// A verified, mmap'd artifact. Frame views stay valid for the reader's
+/// lifetime; all frames were checksum-verified at Open time.
+class ArtifactReader {
+ public:
+  /// Maps and fully verifies the object file at `path`; nullptr if
+  /// absent, nullptr + *corrupt if present but invalid. Prefer
+  /// ArtifactStore::Open, which derives the path from a key.
+  static std::unique_ptr<ArtifactReader> OpenFile(const std::string& path,
+                                                  bool* corrupt = nullptr);
+
+  ~ArtifactReader();
+  ArtifactReader(const ArtifactReader&) = delete;
+  ArtifactReader& operator=(const ArtifactReader&) = delete;
+
+  std::size_t frame_count() const { return frames_.size(); }
+  Span<const std::uint8_t> frame(std::size_t i) const {
+    return {base_ + frames_[i].first, frames_[i].second};
+  }
+  std::size_t file_bytes() const { return map_len_; }
+
+ private:
+  friend class ArtifactStore;
+  ArtifactReader() = default;
+
+  const std::uint8_t* base_ = nullptr;
+  void* map_ = nullptr;        // non-null when mmap'd
+  std::size_t map_len_ = 0;
+  std::vector<std::uint8_t> fallback_;  // used when mmap is unavailable
+  std::vector<std::pair<std::size_t, std::size_t>> frames_;  // offset, len
+};
+
+/// One store entry as seen by ls/gc.
+struct ListEntry {
+  std::string id;         // object id (key SHA-256, hex)
+  std::string kind;       // from the index; "" if the index has no line
+  std::string canonical;  // ditto
+  std::uint64_t bytes = 0;
+  std::time_t mtime = 0;
+};
+
+class ArtifactStore {
+ public:
+  /// Opens the store rooted at `root`, creating the directory skeleton.
+  /// Check ok() before use.
+  explicit ArtifactStore(std::string root);
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+  const std::string& root() const { return root_; }
+
+  bool Contains(const ArtifactKey& key) const;
+
+  /// Serializes `frames` (each independently checksummed) and publishes
+  /// the object atomically. Always writes — republishing a key replaces
+  /// the object byte-for-byte, which is how corrupt objects heal.
+  bool Put(const ArtifactKey& key, const std::vector<std::string>& frames,
+           std::string* error = nullptr);
+
+  /// nullptr if the object is absent. If present but structurally invalid
+  /// or failing a frame checksum, returns nullptr and sets *corrupt.
+  std::unique_ptr<ArtifactReader> Open(const ArtifactKey& key,
+                                       bool* corrupt = nullptr) const;
+
+  /// Where `key`'s object lives (exists or not) — for tooling and tests.
+  std::string ObjectPath(const ArtifactKey& key) const;
+
+  /// Every object on disk, sorted by id, joined with index labels.
+  std::vector<ListEntry> List() const;
+
+  struct VerifyResult {
+    std::size_t checked = 0;
+    std::vector<std::string> corrupt;  // object ids
+  };
+  /// Opens (and therefore checksum-verifies) every object.
+  VerifyResult Verify() const;
+
+  struct GcResult {
+    std::size_t removed_tmp = 0;
+    std::size_t removed_corrupt = 0;
+    std::size_t evicted = 0;
+    std::uint64_t bytes_kept = 0;
+  };
+  /// Removes abandoned temp files (older than an hour — younger ones may
+  /// be a live process's in-flight Put) and corrupt objects; when
+  /// `max_bytes` is nonzero, additionally evicts oldest-mtime objects
+  /// until the store fits the budget. Rewrites the index to the
+  /// surviving objects.
+  GcResult Gc(std::uint64_t max_bytes = 0);
+
+ private:
+  std::string ObjectPathForId(const std::string& id) const;
+  void AppendIndexLine(const ArtifactKey& key, std::uint64_t bytes) const;
+
+  std::string root_;
+  std::string error_;
+  bool ok_ = false;
+};
+
+// ---------------------------------------------------------------------
+// Process-wide store: the object behind every bench's --store=<dir> flag.
+// Opened once during flag parsing; LandmarkTreeCache instances attach to
+// it at construction, and procs-backend workers — which re-parse the same
+// argv — open the same directory, so prebuilt artifacts are shared across
+// the whole worker pool instead of being rebuilt per process.
+
+/// Opens (or replaces) the process store. Returns false with *error on
+/// failure; the previous store, if any, is left in place then.
+bool OpenProcessStore(const std::string& dir, std::string* error);
+
+/// The process store, or nullptr when no --store= was given.
+ArtifactStore* ProcessStore();
+
+/// Tests only: drops the process store and zeroes the counters.
+void CloseProcessStoreForTest();
+
+/// Process-wide tier counters (bench harnesses print them at exit).
+struct StoreCounters {
+  std::atomic<std::uint64_t> tree_ram_hits{0};
+  std::atomic<std::uint64_t> tree_store_hits{0};
+  std::atomic<std::uint64_t> tree_dijkstras{0};
+  std::atomic<std::uint64_t> tree_writebacks{0};
+};
+StoreCounters& Counters();
+
+}  // namespace disco::store

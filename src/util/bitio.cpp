@@ -23,7 +23,7 @@ std::uint64_t BitReader::Read(int bits) {
   for (int i = 0; i < bits; ++i) {
     const std::size_t byte = pos_ / 8;
     const int offset = 7 - static_cast<int>(pos_ % 8);
-    out = (out << 1) | (((*bytes_)[byte] >> offset) & 1);
+    out = (out << 1) | ((bytes_[byte] >> offset) & 1);
     ++pos_;
   }
   return out;

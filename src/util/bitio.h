@@ -44,10 +44,14 @@ class BitWriter {
 };
 
 /// Reads back values written by BitWriter, in the same order and widths.
+/// The pointer form reads directly out of any byte region (e.g. an mmap'd
+/// artifact frame) without copying; the buffer must outlive the reader.
 class BitReader {
  public:
+  BitReader(const std::uint8_t* bytes, std::size_t bit_size)
+      : bytes_(bytes), bit_size_(bit_size) {}
   BitReader(const std::vector<std::uint8_t>& bytes, std::size_t bit_size)
-      : bytes_(&bytes), bit_size_(bit_size) {}
+      : BitReader(bytes.data(), bit_size) {}
 
   /// Reads the next `bits` bits as an unsigned value (MSB first).
   /// `bits` must not run past the end of the stream.
@@ -56,7 +60,7 @@ class BitReader {
   std::size_t bits_remaining() const { return bit_size_ - pos_; }
 
  private:
-  const std::vector<std::uint8_t>* bytes_;
+  const std::uint8_t* bytes_;
   std::size_t bit_size_;
   std::size_t pos_ = 0;
 };

@@ -125,4 +125,15 @@ Sha256Digest Sha256Hash(std::string_view data) {
   return h.Finalize();
 }
 
+std::string Sha256HexOf(const Sha256Digest& digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * digest.size());
+  for (const std::uint8_t b : digest) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
 }  // namespace disco

@@ -6,6 +6,7 @@
 #include <array>
 #include <cstdint>
 #include <cstddef>
+#include <string>
 #include <string_view>
 
 namespace disco {
@@ -36,5 +37,9 @@ class Sha256 {
 
 /// One-shot convenience wrapper.
 Sha256Digest Sha256Hash(std::string_view data);
+
+/// Lowercase hex rendering of a digest (64 chars) — the form used for
+/// artifact-store ids, graph fingerprints, and landmark-set fingerprints.
+std::string Sha256HexOf(const Sha256Digest& digest);
 
 }  // namespace disco

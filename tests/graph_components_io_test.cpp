@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "graph/components.h"
@@ -107,6 +108,61 @@ TEST(EdgeListIo, RejectsNonPositiveWeights) {
   }
   EXPECT_FALSE(LoadEdgeList(path).has_value());
   std::remove(path.c_str());
+}
+
+TEST(GraphSnapshot, BytesRoundTripIsLossless) {
+  const Graph g = ConnectedGeometric(128, 8.0, 5);  // float weights
+  const auto loaded = LoadGraphSnapshotBytes(GraphSnapshotBytes(g));
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->num_nodes(), g.num_nodes());
+  ASSERT_EQ(loaded->num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(loaded->edge(e).a, g.edge(e).a);
+    EXPECT_EQ(loaded->edge(e).b, g.edge(e).b);
+    // Bit equality, not approximate: snapshots must reproduce the graph
+    // the fingerprint hashed.
+    EXPECT_EQ(std::memcmp(&loaded->edge(e).weight, &g.edge(e).weight,
+                          sizeof(Dist)),
+              0);
+  }
+  EXPECT_EQ(GraphFingerprintHex(*loaded), GraphFingerprintHex(g));
+}
+
+TEST(GraphSnapshot, FileRoundTripAndCorruptionRejected) {
+  const Graph g = ConnectedGnm(64, 200, 3);
+  const std::string path = ::testing::TempDir() + "/disco_io_test.snap";
+  ASSERT_TRUE(SaveGraphSnapshot(g, path));
+  const auto loaded = LoadGraphSnapshot(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(GraphFingerprintHex(*loaded), GraphFingerprintHex(g));
+
+  // One flipped byte in the edge region must fail the trailing checksum.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(40);
+    const char c = '\x5A';
+    f.write(&c, 1);
+  }
+  EXPECT_FALSE(LoadGraphSnapshot(path).has_value());
+  EXPECT_FALSE(LoadGraphSnapshot("/nonexistent/file.snap").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(GraphSnapshot, FingerprintSeparatesGraphs) {
+  const Graph a = ConnectedGnm(64, 200, 3);
+  const Graph b = ConnectedGnm(64, 200, 4);     // different seed
+  const Graph c = ConnectedGnm(65, 200, 3);     // different size
+  std::vector<WeightedEdge> edges;
+  for (EdgeId e = 0; e < a.num_edges(); ++e) edges.push_back(a.edge(e));
+  edges[0].weight = 2.0;                        // one reweighted edge
+  const Graph d = Graph::FromEdges(a.num_nodes(), edges);
+
+  const std::string fp = GraphFingerprintHex(a);
+  EXPECT_EQ(fp.size(), 64u);
+  EXPECT_EQ(fp, GraphFingerprintHex(a));  // deterministic
+  EXPECT_NE(fp, GraphFingerprintHex(b));
+  EXPECT_NE(fp, GraphFingerprintHex(c));
+  EXPECT_NE(fp, GraphFingerprintHex(d));
 }
 
 }  // namespace

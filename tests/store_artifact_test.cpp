@@ -1,0 +1,299 @@
+// ArtifactStore (src/store/artifact_store.h): atomic publish, checksummed
+// frames, corruption detection, gc policy, and safety under concurrent
+// access from two real processes.
+#include "store/artifact_store.h"
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace disco {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A fresh store rooted in a mkdtemp directory, removed on destruction.
+struct TempStore {
+  TempStore() {
+    char tmpl[] = "/tmp/disco_store_test_XXXXXX";
+    root = ::mkdtemp(tmpl);
+    store = std::make_unique<store::ArtifactStore>(root + "/store");
+  }
+  ~TempStore() {
+    std::error_code ec;
+    fs::remove_all(root, ec);
+  }
+  std::string root;
+  std::unique_ptr<store::ArtifactStore> store;
+};
+
+store::ArtifactKey KeyOf(const std::string& scope) {
+  store::ArtifactKey key;
+  key.kind = "test";
+  key.graph = "deadbeef";
+  key.scope = scope;
+  key.version = 1;
+  return key;
+}
+
+std::string FrameOf(std::size_t bytes, unsigned seed) {
+  std::string out;
+  out.reserve(bytes);
+  unsigned x = seed * 2654435761u + 1;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    x = x * 1664525u + 1013904223u;
+    out.push_back(static_cast<char>(x >> 24));  // includes NUL bytes
+  }
+  return out;
+}
+
+TEST(ArtifactStore, PutOpenRoundTripMultiFrame) {
+  TempStore t;
+  ASSERT_TRUE(t.store->ok());
+  const auto key = KeyOf("roundtrip");
+  const std::vector<std::string> frames = {FrameOf(1000, 1), "",
+                                           FrameOf(37, 2), "x"};
+  EXPECT_FALSE(t.store->Contains(key));
+  ASSERT_TRUE(t.store->Put(key, frames));
+  EXPECT_TRUE(t.store->Contains(key));
+
+  const auto reader = t.store->Open(key);
+  ASSERT_NE(reader, nullptr);
+  ASSERT_EQ(reader->frame_count(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const auto view = reader->frame(i);
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(view.data()),
+                          view.size()),
+              frames[i]);
+  }
+}
+
+TEST(ArtifactStore, OpenAcrossInstancesAndRepublish) {
+  TempStore t;
+  const auto key = KeyOf("shared");
+  ASSERT_TRUE(t.store->Put(key, {FrameOf(128, 3)}));
+  // A second instance on the same root (a second process, in effect)
+  // sees the object; republishing replaces it byte-for-byte.
+  store::ArtifactStore other(t.store->root());
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(other.Contains(key));
+  ASSERT_TRUE(other.Put(key, {FrameOf(128, 3)}));
+  const auto reader = t.store->Open(key);
+  ASSERT_NE(reader, nullptr);
+  EXPECT_EQ(reader->frame_count(), 1u);
+}
+
+TEST(ArtifactStore, KeyComponentsAllChangeTheId) {
+  const auto base = KeyOf("scope");
+  auto kind = base, graph = base, scope = base, version = base;
+  kind.kind = "other";
+  graph.graph = "deadbeee";
+  scope.scope = "scope2";
+  version.version = 2;
+  for (const auto& k : {kind, graph, scope, version}) {
+    EXPECT_NE(k.Id(), base.Id());
+  }
+  EXPECT_EQ(base.Id().size(), 64u);
+}
+
+TEST(ArtifactStore, DetectsCorruptedFrame) {
+  TempStore t;
+  const auto key = KeyOf("corrupt-me");
+  ASSERT_TRUE(t.store->Put(key, {FrameOf(512, 4)}));
+  const std::string path = t.store->ObjectPath(key);
+
+  // Flip one byte deep in the payload region.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(-17, std::ios::end);
+    char c = 0;
+    f.read(&c, 1);
+    f.seekp(-17, std::ios::end);
+    c = static_cast<char>(c ^ 0x40);
+    f.write(&c, 1);
+  }
+  bool corrupt = false;
+  EXPECT_EQ(t.store->Open(key, &corrupt), nullptr);
+  EXPECT_TRUE(corrupt);
+
+  const auto verify = t.store->Verify();
+  EXPECT_EQ(verify.checked, 1u);
+  ASSERT_EQ(verify.corrupt.size(), 1u);
+  EXPECT_EQ(verify.corrupt[0], key.Id());
+
+  // A republish heals it.
+  ASSERT_TRUE(t.store->Put(key, {FrameOf(512, 4)}));
+  corrupt = false;
+  EXPECT_NE(t.store->Open(key, &corrupt), nullptr);
+  EXPECT_FALSE(corrupt);
+}
+
+TEST(ArtifactStore, DetectsTruncationAndHeaderDamage) {
+  TempStore t;
+  const auto key = KeyOf("truncate-me");
+  ASSERT_TRUE(t.store->Put(key, {FrameOf(512, 5)}));
+  const std::string path = t.store->ObjectPath(key);
+  fs::resize_file(path, fs::file_size(path) - 9);
+  bool corrupt = false;
+  EXPECT_EQ(t.store->Open(key, &corrupt), nullptr);
+  EXPECT_TRUE(corrupt);
+
+  ASSERT_TRUE(t.store->Put(key, {FrameOf(512, 5)}));
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(9);  // inside the frame directory
+    const char c = 0x7F;
+    f.write(&c, 1);
+  }
+  EXPECT_EQ(t.store->Open(key, &corrupt), nullptr);
+  EXPECT_TRUE(corrupt);
+}
+
+TEST(ArtifactStore, MissingObjectIsAbsentNotCorrupt) {
+  TempStore t;
+  bool corrupt = true;
+  EXPECT_EQ(t.store->Open(KeyOf("never-stored"), &corrupt), nullptr);
+  EXPECT_FALSE(corrupt);
+}
+
+TEST(ArtifactStore, ListAndIndexLabels) {
+  TempStore t;
+  ASSERT_TRUE(t.store->Put(KeyOf("a"), {"aaa"}));
+  ASSERT_TRUE(t.store->Put(KeyOf("b"), {"bbb"}));
+  const auto entries = t.store->List();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_LT(entries[0].id, entries[1].id);  // sorted
+  for (const auto& e : entries) {
+    EXPECT_EQ(e.kind, "test");
+    EXPECT_NE(e.canonical.find("deadbeef"), std::string::npos);
+    EXPECT_GT(e.bytes, 0u);
+  }
+}
+
+TEST(ArtifactStore, GcRemovesTmpDroppingsAndCorruptObjects) {
+  TempStore t;
+  ASSERT_TRUE(t.store->Put(KeyOf("keep"), {FrameOf(64, 6)}));
+  ASSERT_TRUE(t.store->Put(KeyOf("rot"), {FrameOf(64, 7)}));
+  // An abandoned in-flight write (backdated past the hour threshold), a
+  // *fresh* tmp file gc must leave alone (it may be a live writer's),
+  // and bit rot in one object.
+  const std::string abandoned = t.store->root() + "/tmp/abandoned.123";
+  std::ofstream(abandoned) << "partial";
+  fs::last_write_time(abandoned, fs::file_time_type::clock::now() -
+                                     std::chrono::hours(2));
+  std::ofstream(t.store->root() + "/tmp/inflight.456") << "partial";
+  {
+    const std::string path = t.store->ObjectPath(KeyOf("rot"));
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);
+    const char c = '!';
+    f.write(&c, 1);
+  }
+  const auto result = t.store->Gc();
+  EXPECT_EQ(result.removed_tmp, 1u);
+  EXPECT_EQ(result.removed_corrupt, 1u);
+  EXPECT_EQ(result.evicted, 0u);
+  EXPECT_TRUE(t.store->Contains(KeyOf("keep")));
+  EXPECT_FALSE(t.store->Contains(KeyOf("rot")));
+  EXPECT_TRUE(fs::exists(t.store->root() + "/tmp/inflight.456"));
+  EXPECT_TRUE(t.store->Verify().corrupt.empty());
+}
+
+TEST(ArtifactStore, GcEvictsOldestPastByteBudgetButSnapshotsLast) {
+  TempStore t;
+  // A graph snapshot with the *oldest* mtime (as in real stores — build
+  // publishes it before any tree): it must outlive every tree artifact
+  // under a byte budget, because it is the --graph=<fingerprint>
+  // rebuild path for everything else.
+  store::ArtifactKey snapshot = KeyOf("the-map");
+  snapshot.kind = "graph";
+  ASSERT_TRUE(t.store->Put(snapshot, {FrameOf(1000, 9)}));
+  fs::last_write_time(t.store->ObjectPath(snapshot),
+                      fs::file_time_type::clock::now() -
+                          std::chrono::seconds(100));
+  std::vector<store::ArtifactKey> keys;
+  for (int i = 0; i < 4; ++i) {
+    keys.push_back(KeyOf("evict" + std::to_string(i)));
+    ASSERT_TRUE(t.store->Put(keys.back(), {FrameOf(1000, 10 + i)}));
+    // Distinct, strictly increasing mtimes (filesystem-resolution-proof).
+    const fs::path path = t.store->ObjectPath(keys.back());
+    fs::last_write_time(path, fs::file_time_type::clock::now() +
+                                  std::chrono::seconds(10 * i));
+  }
+  const auto one = fs::file_size(t.store->ObjectPath(keys[0]));
+  const auto result = t.store->Gc(2 * one + 1);
+  EXPECT_EQ(result.evicted, 3u);
+  EXPECT_FALSE(t.store->Contains(keys[0]));
+  EXPECT_FALSE(t.store->Contains(keys[1]));
+  EXPECT_FALSE(t.store->Contains(keys[2]));
+  EXPECT_TRUE(t.store->Contains(keys[3]));
+  EXPECT_TRUE(t.store->Contains(snapshot));
+  EXPECT_LE(result.bytes_kept, 2 * one + 1);
+}
+
+TEST(ArtifactStore, TwoProcessConcurrentAccessStaysConsistent) {
+  // Two real processes hammer one store with overlapping keys —
+  // concurrent Puts of the same content plus concurrent Opens — and the
+  // store must end fully verifiable with every object readable. This is
+  // the regime procs-backend workers create.
+  TempStore t;
+  const std::string root = t.store->root();
+  constexpr int kKeys = 24;
+  constexpr int kRounds = 3;
+
+  const auto worker = [&root](unsigned salt) {
+    store::ArtifactStore st(root);
+    if (!st.ok()) _exit(10);
+    for (int round = 0; round < kRounds; ++round) {
+      for (int i = 0; i < kKeys; ++i) {
+        const auto key = KeyOf("contended" + std::to_string(i));
+        // Same key => same bytes, the content-addressing contract.
+        if (!st.Put(key, {FrameOf(200 + 13 * i, 100 + i)})) _exit(11);
+        const auto reader = st.Open(key);
+        if (reader == nullptr) _exit(12);
+        if (reader->frame_count() != 1) _exit(13);
+      }
+      (void)salt;
+    }
+    _exit(0);
+  };
+
+  const pid_t a = fork();
+  ASSERT_GE(a, 0);
+  if (a == 0) worker(1);
+  const pid_t b = fork();
+  ASSERT_GE(b, 0);
+  if (b == 0) worker(2);
+
+  int status_a = 0, status_b = 0;
+  ASSERT_EQ(waitpid(a, &status_a, 0), a);
+  ASSERT_EQ(waitpid(b, &status_b, 0), b);
+  EXPECT_TRUE(WIFEXITED(status_a) && WEXITSTATUS(status_a) == 0)
+      << "worker A exit " << WEXITSTATUS(status_a);
+  EXPECT_TRUE(WIFEXITED(status_b) && WEXITSTATUS(status_b) == 0)
+      << "worker B exit " << WEXITSTATUS(status_b);
+
+  const auto verify = t.store->Verify();
+  EXPECT_EQ(verify.checked, static_cast<std::size_t>(kKeys));
+  EXPECT_TRUE(verify.corrupt.empty());
+  for (int i = 0; i < kKeys; ++i) {
+    const auto key = KeyOf("contended" + std::to_string(i));
+    const auto reader = t.store->Open(key);
+    ASSERT_NE(reader, nullptr);
+    const auto view = reader->frame(0);
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(view.data()),
+                          view.size()),
+              FrameOf(200 + 13 * i, 100 + i));
+  }
+}
+
+}  // namespace
+}  // namespace disco

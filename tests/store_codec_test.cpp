@@ -1,0 +1,165 @@
+// Tree codec (src/store/tree_codec.h): decode(encode(tree)) must be the
+// identity — bit-exact distances included — the compression target must
+// hold, and malformed frames must be rejected, never misdecoded.
+#include "store/tree_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "graph/generators.h"
+#include "graph/shortest_path.h"
+#include "runtime/thread_pool.h"
+#include "test_util.h"
+
+namespace disco {
+namespace {
+
+using testing::DiamondGraph;
+using testing::PathGraph;
+
+// Bitwise equality: the acceptance bar is byte-identical bench output, so
+// value equality (which 0.0 == -0.0 would satisfy) is not enough.
+void ExpectTreesIdentical(const ShortestPathTree& a,
+                          const ShortestPathTree& b) {
+  ASSERT_EQ(a.dist.size(), b.dist.size());
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.parent, b.parent);
+  ASSERT_EQ(a.dist.size(), b.dist.size());
+  for (std::size_t v = 0; v < a.dist.size(); ++v) {
+    EXPECT_EQ(std::memcmp(&a.dist[v], &b.dist[v], sizeof(Dist)), 0)
+        << "dist bits differ at node " << v;
+  }
+}
+
+void ExpectRoundTrip(const Graph& g, NodeId source) {
+  const ShortestPathTree t = Dijkstra(g, source);
+  const std::string frame = store::EncodeTree(g, t);
+  ASSERT_FALSE(frame.empty());
+  ShortestPathTree back;
+  ASSERT_TRUE(store::DecodeTree(g, frame, &back));
+  ExpectTreesIdentical(t, back);
+}
+
+TEST(TreeCodec, RoundTripSmallCanonicalGraphs) {
+  ExpectRoundTrip(PathGraph(6), 0);
+  ExpectRoundTrip(PathGraph(6), 5);
+  ExpectRoundTrip(DiamondGraph(), 0);
+  ExpectRoundTrip(DiamondGraph(), 3);
+}
+
+TEST(TreeCodec, RoundTripRandomGraphsManySeeds) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    // The connected generators may land slightly under the requested
+    // size; derive sources from the actual node count.
+    const Graph g = ConnectedGnm(512, 2048, seed);
+    for (const NodeId src :
+         {NodeId{0}, g.num_nodes() / 3, g.num_nodes() - 1}) {
+      ExpectRoundTrip(g, src);
+    }
+  }
+}
+
+TEST(TreeCodec, RoundTripFloatWeights) {
+  // Geometric graphs have irrational-looking distances; exact float
+  // reproduction is the whole point of interface-index coding.
+  const Graph g = ConnectedGeometric(256, 8.0, 7);
+  for (const NodeId src :
+       {NodeId{0}, g.num_nodes() / 2, g.num_nodes() - 1}) {
+    ExpectRoundTrip(g, src);
+  }
+}
+
+TEST(TreeCodec, RoundTripParallelEdges) {
+  // FromEdges keeps parallel edges; the codec must pin the exact arc so
+  // the decoded distance uses the right weight.
+  const std::vector<WeightedEdge> edges = {
+      {0, 1, 2.0}, {0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 5.0}, {0, 2, 5.0}};
+  const Graph g = Graph::FromEdges(3, edges);
+  ExpectRoundTrip(g, 0);
+  ExpectRoundTrip(g, 2);
+}
+
+TEST(TreeCodec, RoundTripUnreachableNodes) {
+  // Two components plus an isolated node: unreachability must survive.
+  const std::vector<WeightedEdge> edges = {
+      {0, 1, 1.0}, {1, 2, 1.0}, {3, 4, 2.5}};
+  const Graph g = Graph::FromEdges(6, edges);
+  const ShortestPathTree t = Dijkstra(g, 0);
+  const std::string frame = store::EncodeTree(g, t);
+  ASSERT_FALSE(frame.empty());
+  ShortestPathTree back;
+  ASSERT_TRUE(store::DecodeTree(g, frame, &back));
+  ExpectTreesIdentical(t, back);
+  EXPECT_FALSE(back.reachable(3));
+  EXPECT_FALSE(back.reachable(5));
+  EXPECT_EQ(back.parent[4], kInvalidNode);
+}
+
+TEST(TreeCodec, RoundTripSingleNodeGraph) {
+  const Graph g = Graph::FromEdges(1, {});
+  ExpectRoundTrip(g, 0);
+}
+
+TEST(TreeCodec, MeetsCompressionTargetOn4096NodeGnm) {
+  // Acceptance criterion: encoded trees at most half the in-memory
+  // ShortestPathTree footprint on a 4096-node Gnm graph. The codec
+  // actually lands near 4% (about 4.5 bits/node at average degree 8).
+  const Graph g = ConnectedGnm(4096, 4ull * 4096, 1);
+  for (const NodeId src : {NodeId{0}, g.num_nodes() / 2}) {
+    const ShortestPathTree t = Dijkstra(g, src);
+    const std::string frame = store::EncodeTree(g, t);
+    ASSERT_FALSE(frame.empty());
+    EXPECT_LE(frame.size(), store::TreeMemoryBytes(t) / 2)
+        << "encoded " << frame.size() << "B vs "
+        << store::TreeMemoryBytes(t) << "B in memory";
+  }
+}
+
+TEST(TreeCodec, EncodingIsByteStableAcrossThreadCounts) {
+  // Trees may be produced under any pool width (Prewarm fan-out); their
+  // encodings must be identical bytes regardless.
+  const Graph g = ConnectedGnm(256, 1024, 9);
+  runtime::ThreadPool::ResetShared(1);
+  const std::string narrow = store::EncodeTree(g, Dijkstra(g, 3));
+  runtime::ThreadPool::ResetShared(4);
+  const std::string wide = store::EncodeTree(g, Dijkstra(g, 3));
+  runtime::ThreadPool::ResetShared(runtime::DefaultThreadCount());
+  EXPECT_EQ(narrow, wide);
+}
+
+TEST(TreeCodec, RejectsMalformedFrames) {
+  const Graph g = ConnectedGnm(128, 512, 4);
+  const std::string frame = store::EncodeTree(g, Dijkstra(g, 5));
+  ShortestPathTree out;
+  EXPECT_FALSE(store::DecodeTree(g, std::string(), &out));
+  EXPECT_FALSE(store::DecodeTree(g, std::string("junkjunkjunk"), &out));
+  // Truncation at any prefix length must fail cleanly, never crash or
+  // fabricate a tree.
+  for (std::size_t cut = 0; cut + 1 < frame.size(); cut += 7) {
+    EXPECT_FALSE(store::DecodeTree(g, frame.substr(0, cut), &out));
+  }
+}
+
+TEST(TreeCodec, RejectsFrameForDifferentGraphSize) {
+  const Graph g = ConnectedGnm(128, 512, 4);
+  const Graph other = ConnectedGnm(256, 1024, 4);
+  const std::string frame = store::EncodeTree(g, Dijkstra(g, 5));
+  ShortestPathTree out;
+  EXPECT_FALSE(store::DecodeTree(other, frame, &out));
+}
+
+TEST(TreeCodec, EncodeRejectsForeignTree) {
+  // A tree computed on one graph is not encodable against another of the
+  // same size whose arcs cannot explain it.
+  const Graph g = PathGraph(8);
+  const std::vector<WeightedEdge> edges = {
+      {0, 2, 1.0}, {2, 4, 1.0}, {4, 6, 1.0}, {6, 7, 1.0},
+      {1, 3, 1.0}, {3, 5, 1.0}, {5, 7, 1.0}, {0, 1, 1.0}};
+  const Graph other = Graph::FromEdges(8, edges);
+  const ShortestPathTree t = Dijkstra(g, 0);
+  EXPECT_EQ(store::EncodeTree(other, t), "");
+}
+
+}  // namespace
+}  // namespace disco
