@@ -94,14 +94,35 @@ Args Args::Parse(int argc, char** argv, const char* extra_usage,
       const std::size_t len = std::strlen(prefix);
       return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
     };
+    // Numeric values are parsed strictly: "--n=10x", "--n=" or
+    // "--seed=abc" must be a usage error, never a silent garbage value
+    // (strtoull without an end check yields 0, which reads as "use the
+    // per-bench default").
+    const auto uint_or_die = [&](const char* v, const char* flag)
+        -> unsigned long long {
+      char* end = nullptr;
+      const unsigned long long x = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "%s needs a non-negative integer, got "
+                             "\"%s\"\n", flag, v);
+        PrintUsageAndExit(argv[0], extra_usage, 2);
+      }
+      return x;
+    };
     if (const char* v = value_of("--n=")) {
-      a.n = static_cast<NodeId>(std::strtoull(v, nullptr, 10));
+      a.n = static_cast<NodeId>(uint_or_die(v, "--n"));
     } else if (const char* v = value_of("--seed=")) {
-      a.seed = std::strtoull(v, nullptr, 10);
+      a.seed = uint_or_die(v, "--seed");
     } else if (const char* v = value_of("--samples=")) {
-      a.samples = std::strtoull(v, nullptr, 10);
+      a.samples = static_cast<std::size_t>(uint_or_die(v, "--samples"));
     } else if (const char* v = value_of("--gbits=")) {
-      a.gbits = static_cast<int>(std::strtol(v, nullptr, 10));
+      char* end = nullptr;
+      const long b = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "--gbits needs an integer, got \"%s\"\n", v);
+        PrintUsageAndExit(argv[0], extra_usage, 2);
+      }
+      a.gbits = static_cast<int>(b);
     } else if (const char* v = value_of("--threads=")) {
       char* end = nullptr;
       const long t = std::strtol(v, &end, 10);
@@ -286,6 +307,12 @@ bool CampaignArgs::Consume(const std::string& arg) {
   return false;
 }
 
+void WriteFileOrWarn(const std::string& path, const std::string& contents) {
+  if (!WriteFile(path, contents)) {
+    std::fprintf(stderr, "warning: failed to write %s\n", path.c_str());
+  }
+}
+
 void Banner(const std::string& figure, const std::string& expectation) {
   std::printf("==============================================================="
               "=\n%s\npaper expectation: %s\n"
@@ -344,7 +371,7 @@ void PrintCdf(const std::string& label, std::vector<double> values,
   std::string tsv;
   if (have_data && !file.empty()) tsv = CdfTsvContent(values);
   std::fputs(CdfLine(label, std::move(values)).c_str(), stdout);
-  if (have_data && !file.empty()) WriteFile(file + ".tsv", tsv);
+  if (have_data && !file.empty()) WriteFileOrWarn(file + ".tsv", tsv);
 }
 
 void PrintSummary(const std::string& label, std::vector<double> values) {
@@ -534,7 +561,9 @@ void RunThousandNodeComparison(const std::string& tag, const Graph& g,
   for (const auto& b : bundles) std::fputs(b.parts[3].c_str(), stdout);
 
   for (const auto& b : bundles) {
-    for (const auto& [name, content] : b.files) WriteFile(name, content);
+    for (const auto& [name, content] : b.files) {
+      WriteFileOrWarn(name, content);
+    }
   }
 }
 

@@ -143,6 +143,10 @@ struct CampaignArgs {
 /// Prints a banner naming the figure and the paper's expectation.
 void Banner(const std::string& figure, const std::string& expectation);
 
+/// WriteFile, but a failed write (including a flush/close failure such as
+/// ENOSPC) warns on stderr naming the path instead of being dropped.
+void WriteFileOrWarn(const std::string& path, const std::string& contents);
+
 /// One CDF rendered as a fixed set of quantiles (the line PrintCdf prints,
 /// with trailing newline) — task code builds output text with this so the
 /// executor's parent process can print it verbatim.

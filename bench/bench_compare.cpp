@@ -1,0 +1,218 @@
+// bench_compare — the BENCH_*.json regression gate.
+//
+//   bench_compare <current.json> <baseline.json>
+//                 [--min-qps-ratio=<f>] [--max-p99-ratio=<f>]
+//   bench_compare --check <file.json>
+//
+// Compares a fresh disco_serve run against the committed perf-trajectory
+// baseline: every scheme in the baseline must be present, keep at least
+// min-qps-ratio of the baseline throughput (default 0.25), and stay
+// within max-p99-ratio of the baseline p99 latency (default 4.0). The
+// tolerances are deliberately generous — machines differ, CI runners are
+// noisy — so only a real collapse fails; a later perf PR tightens its
+// claim by committing a better baseline. --check just validates that a
+// file parses and carries the serve schema (serve_smoke uses it).
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/json.h"
+
+namespace disco {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: bench_compare <current.json> <baseline.json>\n"
+    "                     [--min-qps-ratio=<f>] [--max-p99-ratio=<f>]\n"
+    "       bench_compare --check <file.json>\n"
+    "  compares a BENCH_serve.json run against the committed baseline\n"
+    "  (generous tolerances; exit 1 on a regression). --check only\n"
+    "  validates that the file parses and carries the serve schema.\n";
+
+bool LoadJson(const std::string& path, json::Value* out) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  std::string error;
+  if (!json::Parse(ss.str(), out, &error)) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Schema check: the fields the comparison (and any trajectory tooling)
+/// relies on must be present and well-typed.
+bool ValidateServe(const std::string& path, const json::Value& v) {
+  const auto complain = [&](const char* what) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(), what);
+    return false;
+  };
+  if (!v.is_object()) return complain("top level is not an object");
+  if (v.StringOr("bench", "") != "disco_serve") {
+    return complain("\"bench\" is not \"disco_serve\"");
+  }
+  const json::Value* schemes = v.Find("schemes");
+  if (schemes == nullptr || !schemes->is_array() ||
+      schemes->Items().empty()) {
+    return complain("\"schemes\" is missing or empty");
+  }
+  for (const json::Value& s : schemes->Items()) {
+    if (!s.is_object() || s.StringOr("name", "").empty()) {
+      return complain("scheme entry without a name");
+    }
+    for (const char* field : {"qps", "p50_us", "p99_us", "p999_us"}) {
+      const json::Value* f = s.Find(field);
+      if (f == nullptr || !f->is_number() || f->AsNumber() < 0) {
+        std::fprintf(stderr,
+                     "bench_compare: %s: scheme \"%s\" lacks numeric "
+                     "\"%s\"\n",
+                     path.c_str(), s.StringOr("name", "?").c_str(), field);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+const json::Value* FindScheme(const json::Value& doc,
+                              const std::string& name) {
+  const json::Value* schemes = doc.Find("schemes");
+  if (schemes == nullptr) return nullptr;
+  for (const json::Value& s : schemes->Items()) {
+    if (s.StringOr("name", "") == name) return &s;
+  }
+  return nullptr;
+}
+
+int Main(int argc, char** argv) {
+  double min_qps_ratio = 0.25;
+  double max_p99_ratio = 4.0;
+  bool check_only = false;
+  std::string files[2];
+  int nfiles = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (arg == "--check") {
+      check_only = true;
+      continue;
+    }
+    const auto ratio_of = [&arg](const char* prefix) -> const char* {
+      const std::size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len
+                                              : nullptr;
+    };
+    if (const char* v = ratio_of("--min-qps-ratio=")) {
+      char* end = nullptr;
+      min_qps_ratio = std::strtod(v, &end);
+      if (end == v || *end != '\0' || min_qps_ratio < 0) {
+        std::fprintf(stderr, "bench_compare: bad ratio \"%s\"\n", v);
+        return 2;
+      }
+      continue;
+    }
+    if (const char* v = ratio_of("--max-p99-ratio=")) {
+      char* end = nullptr;
+      max_p99_ratio = std::strtod(v, &end);
+      if (end == v || *end != '\0' || max_p99_ratio <= 0) {
+        std::fprintf(stderr, "bench_compare: bad ratio \"%s\"\n", v);
+        return 2;
+      }
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bench_compare: unknown flag %s\n%s",
+                   arg.c_str(), kUsage);
+      return 2;
+    }
+    if (nfiles == 2) {
+      std::fprintf(stderr, "%s", kUsage);
+      return 2;
+    }
+    files[nfiles++] = arg;
+  }
+
+  if (check_only) {
+    if (nfiles != 1) {
+      std::fprintf(stderr, "%s", kUsage);
+      return 2;
+    }
+    json::Value doc;
+    if (!LoadJson(files[0], &doc) || !ValidateServe(files[0], doc)) {
+      return 1;
+    }
+    std::printf("%s: ok (%zu schemes)\n", files[0].c_str(),
+                doc.Find("schemes")->Items().size());
+    return 0;
+  }
+
+  if (nfiles != 2) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  json::Value current, baseline;
+  if (!LoadJson(files[0], &current) || !ValidateServe(files[0], current) ||
+      !LoadJson(files[1], &baseline) ||
+      !ValidateServe(files[1], baseline)) {
+    return 1;
+  }
+
+  std::printf("%-10s %12s %12s %8s %12s %12s %8s  %s\n", "scheme",
+              "base_qps", "cur_qps", "ratio", "base_p99us", "cur_p99us",
+              "ratio", "verdict");
+  int regressions = 0;
+  for (const json::Value& base : baseline.Find("schemes")->Items()) {
+    const std::string name = base.StringOr("name", "?");
+    const json::Value* cur = FindScheme(current, name);
+    if (cur == nullptr) {
+      std::printf("%-10s missing from current run: REGRESSION\n",
+                  name.c_str());
+      ++regressions;
+      continue;
+    }
+    const double base_qps = base.NumberOr("qps", 0);
+    const double cur_qps = cur->NumberOr("qps", 0);
+    const double base_p99 = base.NumberOr("p99_us", 0);
+    const double cur_p99 = cur->NumberOr("p99_us", 0);
+    const double qps_ratio = base_qps > 0 ? cur_qps / base_qps : 1.0;
+    const double p99_ratio = base_p99 > 0 ? cur_p99 / base_p99 : 1.0;
+    const bool qps_ok = qps_ratio >= min_qps_ratio;
+    const bool p99_ok = p99_ratio <= max_p99_ratio;
+    if (!qps_ok || !p99_ok) ++regressions;
+    std::printf("%-10s %12.0f %12.0f %8.2f %12.2f %12.2f %8.2f  %s\n",
+                name.c_str(), base_qps, cur_qps, qps_ratio, base_p99,
+                cur_p99, p99_ratio,
+                qps_ok && p99_ok
+                    ? "ok"
+                    : (!qps_ok ? "REGRESSION (qps)" : "REGRESSION (p99)"));
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "bench_compare: %d scheme(s) regressed past the "
+                 "tolerance (min qps ratio %.2f, max p99 ratio %.2f)\n",
+                 regressions, min_qps_ratio, max_p99_ratio);
+    return 1;
+  }
+  std::printf("all schemes within tolerance (min qps ratio %.2f, max p99 "
+              "ratio %.2f)\n",
+              min_qps_ratio, max_p99_ratio);
+  return 0;
+}
+
+}  // namespace
+}  // namespace disco
+
+int main(int argc, char** argv) { return disco::Main(argc, argv); }

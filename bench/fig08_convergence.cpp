@@ -133,12 +133,12 @@ int Main(int argc, char** argv) {
     }
     tsv += line;
   }
-  WriteFile(args.OutPath("fig08_convergence.tsv"), tsv);
+  WriteFileOrWarn(args.OutPath("fig08_convergence.tsv"), tsv);
   // The reduced campaign table (per-size, per-series mean ± stddev rows)
   // only exists for real campaigns; default runs write exactly the
   // pre-campaign file set.
   if (campaign.active()) {
-    WriteFile(args.OutPath("fig08_campaign.tsv"), campaign_tsv);
+    WriteFileOrWarn(args.OutPath("fig08_campaign.tsv"), campaign_tsv);
   }
   return 0;
 }

@@ -183,7 +183,7 @@ int Main(int argc, char** argv) {
     }
     tsv += "\n";
   }
-  WriteFile(args.OutPath("fig09_scaling.tsv"), tsv);
+  WriteFileOrWarn(args.OutPath("fig09_scaling.tsv"), tsv);
   return 0;
 }
 

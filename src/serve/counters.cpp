@@ -1,0 +1,10 @@
+#include "serve/counters.h"
+
+namespace disco::serve {
+
+ServeCounters& Counters() {
+  static ServeCounters counters;
+  return counters;
+}
+
+}  // namespace disco::serve

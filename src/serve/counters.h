@@ -1,0 +1,39 @@
+// Live counters for the serve path, after the Prometheus-gauge idiom:
+// cheap relaxed atomics the serving threads bump per event, readable at
+// any moment by an observer (the disco_serve --progress reporter) without
+// stopping the measurement. Nothing here participates in results — the
+// authoritative per-query numbers come from the per-thread histograms and
+// per-stream tallies — so relaxed ordering and mid-run reads are fine.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace disco::serve {
+
+struct ServeCounters {
+  /// Queries completed (success or failure), monotone.
+  std::atomic<std::uint64_t> queries{0};
+  /// Queries whose route failed (empty path, or a destination departed
+  /// during a churn phase), monotone.
+  std::atomic<std::uint64_t> failures{0};
+  /// Serving threads currently inside their closed loop (gauge).
+  std::atomic<std::int64_t> active_workers{0};
+
+  void RecordQuery(bool failed) {
+    queries.fetch_add(1, std::memory_order_relaxed);
+    if (failed) failures.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    queries.store(0, std::memory_order_relaxed);
+    failures.store(0, std::memory_order_relaxed);
+    active_workers.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Process-wide counters of the current serve run (one bench run drives
+/// one scheme at a time; the driver resets between schemes).
+ServeCounters& Counters();
+
+}  // namespace disco::serve

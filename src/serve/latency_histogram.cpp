@@ -1,0 +1,76 @@
+#include "serve/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bitio.h"
+
+namespace disco::serve {
+namespace {
+
+constexpr int kSubBits = LatencyHistogram::kSubBits;
+constexpr std::uint64_t kSubBuckets = 1ull << kSubBits;  // 64
+// Highest representable floor(log2(ns)); 2^41 ns ~ 36 minutes, far past
+// any per-query latency worth distinguishing.
+constexpr int kMaxTopBit = 40;
+constexpr std::size_t kNumBuckets =
+    static_cast<std::size_t>(kMaxTopBit - kSubBits + 1) * kSubBuckets +
+    kSubBuckets;
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+std::size_t LatencyHistogram::BucketOf(std::uint64_t ns) {
+  if (ns < kSubBuckets) return static_cast<std::size_t>(ns);
+  ns = std::min<std::uint64_t>(ns, (1ull << (kMaxTopBit + 1)) - 1);
+  const int top = BitWidth(ns) - 1;  // floor(log2), >= kSubBits
+  const std::uint64_t sub = (ns >> (top - kSubBits)) & (kSubBuckets - 1);
+  return static_cast<std::size_t>(top - kSubBits + 1) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::BucketLowerBound(std::size_t bucket) {
+  if (bucket < kSubBuckets) return bucket;
+  const std::size_t octave = bucket / kSubBuckets;  // >= 1
+  const std::uint64_t sub = bucket % kSubBuckets;
+  return (kSubBuckets + sub) << (octave - 1);
+}
+
+void LatencyHistogram::Record(std::uint64_t ns) {
+  ++buckets_[BucketOf(ns)];
+  ++count_;
+  sum_ += ns;
+  max_ = std::max(max_, ns);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t LatencyHistogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target) {
+      // Buckets are represented by their lower bound (never past the true
+      // sample), except the bucket holding the maximum, which reports the
+      // exact observed max so p100 == max.
+      if (i == BucketOf(max_)) return max_;
+      return BucketLowerBound(i);
+    }
+  }
+  return max_;
+}
+
+}  // namespace disco::serve

@@ -61,7 +61,11 @@ bool WriteFile(const std::string& path, const std::string& contents) {
   std::ofstream f(path);
   if (!f) return false;
   f << contents;
-  return static_cast<bool>(f);
+  // The destructor would close too, but silently: a flush failure at
+  // close time (ENOSPC, a vanished directory) must flip the return value,
+  // not be reported as success.
+  f.close();
+  return !f.fail();
 }
 
 }  // namespace disco

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# CI smoke for the route-serving benchmark, end to end through the
+# binaries:
+#   1. a tiny disco_serve run must emit a BENCH_serve.json that passes
+#      bench_compare --check, and a self-comparison must pass,
+#   2. the deterministic query stream (destinations, phase schedule,
+#      per-stream served/failure tallies) must be byte-identical across
+#      --threads=1 and a wide run, and across repeated runs,
+#   3. a warm start from a prebuilt artifact store must do zero landmark
+#      Dijkstras (stderr counter),
+#   4. malformed numeric flags (--n=10x, --n=, --seed=abc) must exit with
+#      a usage error, not run with a silent garbage value.
+#   usage: serve_smoke.sh <disco_serve> <disco_store> <bench_compare>
+set -euo pipefail
+
+SERVE_BIN="$(cd "$(dirname "$1")" && pwd)/$(basename "$1")"
+STORE_BIN="$(cd "$(dirname "$2")" && pwd)/$(basename "$2")"
+COMPARE_BIN="$(cd "$(dirname "$3")" && pwd)/$(basename "$3")"
+dir="$(mktemp -d)"
+cleanup() { cd / && rm -rf "$dir"; }
+trap cleanup EXIT
+cd "$dir"
+
+flags=(--quick --n=512 --seed=7 --schemes=disco,spf --streams=8
+       --queries=60 --flash --churn)
+
+# 1. Tiny end-to-end run; JSON must parse and carry the serve schema.
+"$SERVE_BIN" "${flags[@]}" --threads=1 --json="$dir/one.json" \
+    --dump-stream="$dir/one.stream" > "$dir/one.txt"
+"$COMPARE_BIN" --check "$dir/one.json"
+# A run is always within tolerance of itself.
+"$COMPARE_BIN" "$dir/one.json" "$dir/one.json"
+
+# 2. Wide run and a repeat: the deterministic stream artifacts must be
+#    byte-identical (only timings may differ).
+"$SERVE_BIN" "${flags[@]}" --threads=4 --json="$dir/wide.json" \
+    --dump-stream="$dir/wide.stream" > "$dir/wide.txt"
+if ! cmp "$dir/one.stream" "$dir/wide.stream"; then
+  echo "serve_smoke: query stream differs between --threads=1 and 4" >&2
+  exit 1
+fi
+"$SERVE_BIN" "${flags[@]}" --threads=4 --json="$dir/again.json" \
+    --dump-stream="$dir/again.stream" > "$dir/again.txt"
+cmp "$dir/wide.stream" "$dir/again.stream"
+# The workload fingerprint inside the JSON must agree too.
+fp_one="$(grep '"sha256"' "$dir/one.json")"
+fp_wide="$(grep '"sha256"' "$dir/wide.json")"
+if [ "$fp_one" != "$fp_wide" ]; then
+  echo "serve_smoke: workload sha256 differs across thread counts" >&2
+  exit 1
+fi
+
+# 3. Warm start: prebuild the store for the same topology policy, then a
+#    --store= run must do zero landmark Dijkstras.
+"$STORE_BIN" build --store="$dir/store" --topo=gnm --quick --n=512 \
+    --seed=7 > "$dir/build.txt" 2>/dev/null
+"$SERVE_BIN" "${flags[@]}" --threads=2 --store="$dir/store" \
+    --json="$dir/warm.json" --dump-stream="$dir/warm.stream" \
+    > "$dir/warm.txt" 2> "$dir/warm.err"
+cmp "$dir/one.stream" "$dir/warm.stream"
+if ! grep -q 'dijkstra=0 ' "$dir/warm.err"; then
+  echo "serve_smoke: warm start still ran landmark Dijkstras:" >&2
+  cat "$dir/warm.err" >&2
+  exit 1
+fi
+
+# 4. Malformed numeric flags must be usage errors (exit 2), not silent
+#    garbage values.
+for bad in --n=10x --n= --seed=abc --samples=1e3; do
+  if "$SERVE_BIN" --quick "$bad" > /dev/null 2> "$dir/bad.err"; then
+    echo "serve_smoke: $bad was accepted instead of rejected" >&2
+    exit 1
+  fi
+  grep -q 'usage:' "$dir/bad.err" || {
+    echo "serve_smoke: $bad died without a usage message" >&2
+    exit 1
+  }
+done
+
+echo "serve_smoke: ok"

@@ -95,5 +95,65 @@ TEST(Stats, WriteFileFailsOnBadPath) {
   EXPECT_FALSE(WriteFile("/nonexistent-dir-xyz/file.txt", "x"));
 }
 
+TEST(Stats, WriteFileFailsOnDirectoryTarget) {
+  // Opening a directory for writing must be reported as failure, not
+  // swallowed by the stream destructor.
+  EXPECT_FALSE(WriteFile(::testing::TempDir(), "x"));
+}
+
+// Latency-report edge cases: the serve bench reads high quantiles out of
+// tiny and two-element samples, where interpolation bugs hide.
+
+TEST(Stats, PercentileSingleElement) {
+  const std::vector<double> one = {7.5};
+  EXPECT_DOUBLE_EQ(Percentile(one, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(Percentile(one, 0.5), 7.5);
+  EXPECT_DOUBLE_EQ(Percentile(one, 0.999), 7.5);
+  EXPECT_DOUBLE_EQ(Percentile(one, 1.0), 7.5);
+}
+
+TEST(Stats, PercentileTwoElementInterpolation) {
+  const std::vector<double> two = {100, 200};
+  EXPECT_DOUBLE_EQ(Percentile(two, 0.25), 125.0);
+  EXPECT_DOUBLE_EQ(Percentile(two, 0.75), 175.0);
+  EXPECT_DOUBLE_EQ(Percentile(two, 0.999), 199.9);
+}
+
+TEST(Stats, PercentileHighQuantiles) {
+  std::vector<double> vals(1000);
+  for (int i = 0; i < 1000; ++i) vals[i] = i;  // already ascending
+  EXPECT_DOUBLE_EQ(Percentile(vals, 0.99), 989.01);
+  EXPECT_NEAR(Percentile(vals, 0.999), 998.001, 1e-9);
+  EXPECT_DOUBLE_EQ(Percentile(vals, 1.0), 999.0);
+  // p999 must sit strictly between p99 and max for a spread sample.
+  EXPECT_GT(Percentile(vals, 0.999), Percentile(vals, 0.99));
+  EXPECT_LT(Percentile(vals, 0.999), Percentile(vals, 1.0));
+}
+
+TEST(Stats, SummarizeTwoElements) {
+  const Summary s = Summarize({10, 30});
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 20.0);
+  EXPECT_DOUBLE_EQ(s.p50, 20.0);
+  EXPECT_DOUBLE_EQ(s.p95, 29.0);
+  EXPECT_EQ(s.min, 10.0);
+  EXPECT_EQ(s.max, 30.0);
+}
+
+TEST(Stats, CdfSingleElement) {
+  const auto cdf = Cdf({42.0}, 8);
+  ASSERT_EQ(cdf.size(), 1u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 42.0);
+  EXPECT_DOUBLE_EQ(cdf[0].fraction, 1.0);
+}
+
+TEST(Stats, CdfTwoElements) {
+  const auto cdf = Cdf({5.0, 9.0}, 8);
+  ASSERT_EQ(cdf.size(), 2u);
+  EXPECT_DOUBLE_EQ(cdf.front().value, 5.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 9.0);
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
 }  // namespace
 }  // namespace disco
