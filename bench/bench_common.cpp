@@ -1,6 +1,7 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -101,8 +102,9 @@ Args Args::Parse(int argc, char** argv, const char* extra_usage,
     const auto uint_or_die = [&](const char* v, const char* flag)
         -> unsigned long long {
       char* end = nullptr;
+      errno = 0;  // reject overflow too, not just trailing garbage
       const unsigned long long x = std::strtoull(v, &end, 10);
-      if (end == v || *end != '\0') {
+      if (end == v || *end != '\0' || errno == ERANGE) {
         std::fprintf(stderr, "%s needs a non-negative integer, got "
                              "\"%s\"\n", flag, v);
         PrintUsageAndExit(argv[0], extra_usage, 2);

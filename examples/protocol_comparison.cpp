@@ -21,10 +21,23 @@
 using namespace disco;
 
 int main(int argc, char** argv) {
+  // "2048x" as a size or seed must be a usage error, not a silently
+  // truncated (or zero) value feeding a misleading scorecard.
+  const auto uint_or_die = [&](const char* v,
+                               const char* what) -> unsigned long long {
+    char* end = nullptr;
+    const unsigned long long x = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0') {
+      std::fprintf(stderr, "%s needs a non-negative integer, got \"%s\"\n",
+                   what, v);
+      std::exit(2);
+    }
+    return x;
+  };
   const std::string family = argc > 1 ? argv[1] : "geo";
-  const NodeId n = argc > 2 ? static_cast<NodeId>(std::atoi(argv[2])) : 1024;
-  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10)
-                                      : 1;
+  const NodeId n =
+      argc > 2 ? static_cast<NodeId>(uint_or_die(argv[2], "n")) : 1024;
+  const std::uint64_t seed = argc > 3 ? uint_or_die(argv[3], "seed") : 1;
   const std::vector<std::string> names =
       argc > 4 ? api::SplitSchemeList(argv[4]) : api::RegisteredSchemes();
 

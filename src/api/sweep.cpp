@@ -1,6 +1,7 @@
 #include "api/sweep.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -261,8 +262,9 @@ std::string MergeShardContents(const std::vector<std::string>& shards,
         continue;
       }
       char* end = nullptr;
+      errno = 0;  // a cell overflowing ULLONG_MAX is malformed, not 2^64-1
       const unsigned long long cell = std::strtoull(line.c_str(), &end, 10);
-      if (end == line.c_str() || *end != '\t') {
+      if (end == line.c_str() || *end != '\t' || errno == ERANGE) {
         if (error) *error = "shard " + std::to_string(si) +
                             ": malformed row: " + line;
         return "";

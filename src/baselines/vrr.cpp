@@ -72,6 +72,8 @@ Vrr::Vrr(const Graph& g, const Params& params, int vset_half)
 
   // Diagnostics: mean stored path length across live pairs.
   double hops = 0;
+  // Summing integer-valued doubles is exact, hence order-free.
+  // disco-lint: allow(unordered-iter): exact integer sum, any order works
   for (const auto& [key, path] : pair_paths_) {
     hops += static_cast<double>(path.size() - 1);
   }
@@ -192,6 +194,9 @@ std::vector<NodeId> Vrr::GreedyWalk(NodeId start, NodeId target) const {
       const std::uint64_t db = RingDistance(names_.hash(best), ht);
       return dc < db || (dc == db && cand < best);
     };
+    // better() imposes a strict total order (ring distance, id tiebreak),
+    // so this min-scan yields the same winner in any iteration order.
+    // disco-lint: allow(unordered-iter): min under a strict total order
     for (const auto& [key, e] : entries_[cur]) {
       (void)key;
       if (better(e.endpoint_a)) best = e.endpoint_a;
@@ -223,6 +228,10 @@ std::vector<NodeId> Vrr::GreedyWalk(NodeId start, NodeId target) const {
       }
     }
     if (next == kInvalidNode) {
+      // This first-match path pick IS order-dependent, but every golden
+      // baseline (fig04/sweep VRR columns) pins the current stdlib's
+      // deterministic iteration order; reorder only with a golden refresh.
+      // disco-lint: allow(unordered-iter): golden outputs pin this order
       for (const auto& [key, e] : entries_[cur]) {
         if (e.endpoint_a == committed && e.next_toward_a != kInvalidNode) {
           next = e.next_toward_a;
@@ -278,6 +287,7 @@ Route Vrr::RoutePacket(NodeId s, NodeId t) const {
 std::vector<Vrr::PathEntry> Vrr::EntriesAt(NodeId v) const {
   std::vector<PathEntry> out;
   out.reserve(entries_[v].size());
+  // disco-lint: allow(unordered-iter): callers assert per-entry properties
   for (const auto& [key, e] : entries_[v]) out.push_back(e);
   return out;
 }

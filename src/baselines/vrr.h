@@ -91,6 +91,11 @@ class Vrr {
 
   std::vector<char> joined_;
   std::vector<std::pair<HashValue, NodeId>> ring_;  // joined, sorted by hash
+  // Deliberately unordered (see the waivers in vrr.cpp): GreedyWalk's
+  // committed-path tiebreak scans entries first-match, and the converged
+  // VRR state in every golden baseline is pinned to the current stdlib's
+  // iteration order. Switching to an ordered map changes routes — do it
+  // only together with a golden-output refresh.
   std::vector<std::unordered_map<PairKey, PathEntry>> entries_;
   std::unordered_map<PairKey, std::vector<NodeId>> pair_paths_;
   BuildStats build_stats_;

@@ -4,7 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <deque>
-#include <unordered_map>
+#include <map>
 #include <unordered_set>
 
 #include "runtime/parallel_for.h"
@@ -189,9 +189,11 @@ Overlay::Dissemination Overlay::Disseminate(
            groups_->bits_of(u);
   };
 
-  std::unordered_map<NodeId, std::size_t> hops;
+  // Ordered: both maps are iterated below to build the aggregates, so the
+  // iteration order must be a function of the node ids, not of the hash.
+  std::map<NodeId, std::size_t> hops;
   for (const int dir : {+1, -1}) {
-    std::unordered_map<NodeId, std::size_t> level{{v, 0}};
+    std::map<NodeId, std::size_t> level{{v, 0}};
     std::deque<NodeId> queue{v};
     while (!queue.empty()) {
       const NodeId u = queue.front();

@@ -185,11 +185,18 @@ Graph BarabasiAlbert(NodeId n, int m_per_node, std::uint64_t seed) {
     }
   }
   for (NodeId v = seed_nodes; v < n; ++v) {
-    std::unordered_set<NodeId> chosen;
+    // m_per_node distinct targets; a sorted vector (not a hash set) keeps
+    // the emission order — which feeds the degree-biased `targets` stream
+    // and hence the whole topology — independent of stdlib bucket layout.
+    std::vector<NodeId> chosen;
     while (chosen.size() < static_cast<std::size_t>(m_per_node)) {
       const NodeId u = targets[rng.NextBelow(targets.size())];
-      if (u != v) chosen.insert(u);
+      if (u != v &&
+          std::find(chosen.begin(), chosen.end(), u) == chosen.end()) {
+        chosen.push_back(u);
+      }
     }
+    std::sort(chosen.begin(), chosen.end());
     for (const NodeId u : chosen) {
       edges.push_back({u, v, 1.0});
       targets.push_back(u);
@@ -253,7 +260,9 @@ Graph RouterLevelInternet(NodeId n, std::uint64_t seed) {
   };
   for (NodeId p = 1; p < num_pops; ++p) {
     const int links = (p < 3) ? 1 : 2;
-    std::unordered_set<NodeId> chosen;
+    // Sorted-vector emission for the same determinism reason as in
+    // BarabasiAlbert above.
+    std::vector<NodeId> chosen;
     while (chosen.size() < static_cast<std::size_t>(links) &&
            chosen.size() < p) {
       NodeId q;
@@ -263,8 +272,11 @@ Graph RouterLevelInternet(NodeId n, std::uint64_t seed) {
         q = pop_targets[rng.NextBelow(pop_targets.size())];
         if (q >= p) continue;
       }
-      chosen.insert(q);
+      if (std::find(chosen.begin(), chosen.end(), q) == chosen.end()) {
+        chosen.push_back(q);
+      }
     }
+    std::sort(chosen.begin(), chosen.end());
     for (const NodeId q : chosen) {
       edges.push_back({random_router(p), random_router(q), 1.0});
       pop_targets.push_back(p);

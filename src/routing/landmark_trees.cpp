@@ -1,5 +1,9 @@
 #include "routing/landmark_trees.h"
 
+// disco-lint: allow-file(relaxed-atomic): cache statistics only (hits,
+// dijkstras, writebacks) — commutative increments read after the owning
+// parallel section has joined; they never feed routing output.
+
 #include <cassert>
 #include <cstdlib>
 

@@ -1,5 +1,9 @@
 #include "runtime/parallel_for.h"
 
+// disco-lint: allow-file(relaxed-atomic): the chunk cursor only *claims*
+// work — every chunk writes results to its own index, so which thread ran
+// it cannot reach output; the section's join orders all result reads.
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>

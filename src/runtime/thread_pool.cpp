@@ -7,8 +7,13 @@ namespace disco::runtime {
 
 std::size_t DefaultThreadCount() {
   if (const char* env = std::getenv("DISCO_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<std::size_t>(v);
+    // Garbage ("4x", "") falls through to the hardware default instead of
+    // silently parsing a prefix.
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;

@@ -4,6 +4,8 @@
 // stopping the measurement. Nothing here participates in results — the
 // authoritative per-query numbers come from the per-thread histograms and
 // per-stream tallies — so relaxed ordering and mid-run reads are fine.
+// disco-lint: allow-file(relaxed-atomic): observability gauges only; the
+// authoritative results come from per-thread tallies merged after join.
 #pragma once
 
 #include <atomic>

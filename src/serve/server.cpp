@@ -1,5 +1,9 @@
 #include "serve/server.h"
 
+// disco-lint: allow-file(relaxed-atomic): progress-reporter gauges and its
+// stop flag only — eventual visibility suffices for both, and the worker
+// join (not these atomics) orders every result the run emits.
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>

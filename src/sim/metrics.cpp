@@ -1,5 +1,9 @@
 #include "sim/metrics.h"
 
+// disco-lint: allow-file(relaxed-atomic): per-edge congestion counters are
+// commutative fetch_adds; the parallel_for join sequences the final loads,
+// so the totals are exact and order-free.
+
 #include <algorithm>
 #include <atomic>
 #include <numeric>

@@ -2,7 +2,9 @@
 
 #include <cassert>
 #include <functional>
+#include <map>
 #include <queue>
+#include <set>
 
 #include "graph/shortest_path.h"
 #include "util/rng.h"
@@ -30,7 +32,10 @@ struct Arc {
   // failure are recognized as stale and dropped.
   std::uint32_t gen = 0;
   // Coalesced pending updates (origin -> announced distance from `from`).
-  std::unordered_map<NodeId, Dist> pending;
+  // Ordered, not hashed: a batch drains in origin order, so delivery
+  // order — which feeds message totals and the accept/propagate cascade —
+  // is a property of the protocol, not of the stdlib's bucket layout.
+  std::map<NodeId, Dist> pending;
 };
 
 /// One route table entry: the announced distance and the neighbor the
@@ -42,7 +47,9 @@ struct Entry {
 
 // Per-node protocol state.
 struct NodeState {
-  std::unordered_map<NodeId, Entry> table;
+  // Ordered: the invalidation sweep and the final result fill iterate the
+  // table, and the re-announcement order feeds message totals.
+  std::map<NodeId, Entry> table;
   // kNdDisco: the bounded non-landmark entries ordered by (dist, id) so the
   // worst one can be evicted when a closer node shows up.
   std::set<std::pair<Dist, NodeId>> vicinity;
@@ -376,7 +383,7 @@ PvResult SimulatePathVector(const Graph& g, const PvConfig& config) {
     now = ev.time;
     a.scheduled = false;
     // Take the batch; deliveries may enqueue more on this very arc.
-    std::unordered_map<NodeId, Dist> batch;
+    std::map<NodeId, Dist> batch;
     batch.swap(a.pending);
     for (const auto& [origin, dist_at_sender] : batch) {
       ++result.total_messages;

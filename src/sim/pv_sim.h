@@ -32,8 +32,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
@@ -66,7 +66,9 @@ struct PvResult {
   /// (included in total_messages; 0 for static runs).
   std::uint64_t total_withdrawals = 0;
   /// Final table: per node, the accepted origins and route distances.
-  std::vector<std::unordered_map<NodeId, Dist>> tables;
+  /// Ordered so callers can iterate without leaking hash-bucket order
+  /// into their output.
+  std::vector<std::map<NodeId, Dist>> tables;
   /// Per node, whether it is a live member at quiescence (all 1 for static
   /// runs and healing scenarios). Departed nodes have empty tables.
   std::vector<std::uint8_t> alive;
@@ -76,7 +78,7 @@ struct PvResult {
   /// Final next hop (learned-from neighbor) per table entry; own-origin
   /// entries map to the node itself. Filled only when
   /// PvConfig::keep_next_hops is set.
-  std::vector<std::unordered_map<NodeId, NodeId>> next_hops;
+  std::vector<std::map<NodeId, NodeId>> next_hops;
 };
 
 struct PvConfig {

@@ -305,6 +305,7 @@ ArtifactStore::GcResult ArtifactStore::Gc(std::uint64_t max_bytes) {
   // in-flight Put (gc can run concurrently with live writers), and
   // deleting it would make that rename fail and silently drop the
   // write-back. An hour is far beyond any single Put's lifetime.
+  // disco-lint: allow(entropy): gc age policy wall-clock, never a seed
   const std::time_t now = std::time(nullptr);
   for (fs::directory_iterator it(fs::path(root_) / "tmp", ec), end;
        !ec && it != end; it.increment(ec)) {

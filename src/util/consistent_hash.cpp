@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <string>
-#include <unordered_map>
+#include <map>
 #include <unordered_set>
 
 namespace disco {
@@ -53,13 +53,12 @@ std::vector<std::uint32_t> ConsistentHashRing::Owners(HashValue key,
 
 std::vector<std::pair<std::uint32_t, std::size_t>>
 ConsistentHashRing::CountOwnership(const std::vector<HashValue>& keys) const {
-  std::unordered_map<std::uint32_t, std::size_t> counts;
+  // Ordered map: the result is read straight out of the container, so the
+  // member order is by id rather than by hash-bucket accident.
+  std::map<std::uint32_t, std::size_t> counts;
   for (const Point& p : points_) counts.emplace(p.member, 0);
   for (const HashValue k : keys) ++counts[Owner(k)];
-  std::vector<std::pair<std::uint32_t, std::size_t>> out(counts.begin(),
-                                                         counts.end());
-  std::sort(out.begin(), out.end());
-  return out;
+  return {counts.begin(), counts.end()};
 }
 
 }  // namespace disco

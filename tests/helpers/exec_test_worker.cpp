@@ -45,8 +45,14 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--marker=", 0) == 0) {
       marker = arg.substr(9);
     } else if (arg.rfind("--worker=", 0) == 0) {
-      disco::exec::EnterWorkerMode(
-          std::strtoull(arg.c_str() + 9, nullptr, 10));
+      const char* v = arg.c_str() + 9;
+      char* end = nullptr;
+      const unsigned long long job = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "--worker needs a job number, got \"%s\"\n", v);
+        return 2;
+      }
+      disco::exec::EnterWorkerMode(static_cast<std::size_t>(job));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;

@@ -1,0 +1,168 @@
+// disco_lint engine tests: the fixture corpus must reproduce its golden
+// findings byte-for-byte, every rule must be exercised by at least one
+// fixture violation, the real tree must lint clean (the same invariant the
+// lint_tree CTest entry and the blocking CI job enforce), and the waiver
+// grammar must behave exactly as documented.
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+
+namespace disco::lint {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Writes `text` to a fresh file under the gtest temp dir and lints it.
+Report LintSnippet(const std::string& name, const std::string& text) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/" + name;
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << text;
+  }
+  return LintFiles(dir, {name});
+}
+
+std::vector<std::string> RulesIn(const Report& r) {
+  std::vector<std::string> out;
+  for (const Finding& f : r.findings) out.push_back(f.rule);
+  return out;
+}
+
+TEST(LintFixtures, GoldenFindingsByteIdentical) {
+  const std::vector<std::string> files =
+      CollectSources(LINT_FIXTURES_DIR, {"."});
+  ASSERT_FALSE(files.empty());
+  const Report report = LintFiles(LINT_FIXTURES_DIR, files);
+  EXPECT_EQ(ReportToJson(report),
+            Slurp(std::string(LINT_FIXTURES_DIR) + "/expected.json"))
+      << "fixture findings drifted from the golden report; if the change "
+         "is intended, regenerate with: disco_lint --root=tools/lint/"
+         "fixtures . --json=tools/lint/fixtures/expected.json";
+}
+
+TEST(LintFixtures, EveryRuleFires) {
+  // 100% rule coverage: each enforceable rule must be detected in the
+  // corpus, so a rule can never silently stop firing.
+  const Report report =
+      LintFiles(LINT_FIXTURES_DIR, CollectSources(LINT_FIXTURES_DIR, {"."}));
+  std::set<std::string> fired;
+  for (const Finding& f : report.findings) fired.insert(f.rule);
+  for (const std::string& rule : RuleNames()) {
+    EXPECT_TRUE(fired.count(rule)) << "no fixture violates rule " << rule;
+  }
+}
+
+TEST(LintFixtures, WaivedFileIsClean) {
+  // waived_ok.cpp holds one violation per waiverable rule class, each
+  // correctly waivered: no findings, three waivers in use.
+  const Report report = LintFiles(LINT_FIXTURES_DIR, {"waived_ok.cpp"});
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.waivers_used, 3u);
+}
+
+TEST(LintTree, RealTreeLintsClean) {
+  const Report report = LintFiles(
+      LINT_REPO_ROOT,
+      CollectSources(LINT_REPO_ROOT, {"src", "bench", "tests", "examples"}));
+  EXPECT_GT(report.files_scanned, 100u);  // the glob really found the tree
+  for (const Finding& f : report.findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+TEST(LintWaivers, LineWaiverCoversOwnAndNextLine) {
+  const Report r = LintSnippet(
+      "line_waiver.cpp",
+      "#include <cstdlib>\n"
+      "long F(const char* s) {\n"
+      "  // disco-lint: allow(strto-endptr): fixture\n"
+      "  return std::strtol(s, nullptr, 10);\n"
+      "}\n");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.waivers_used, 1u);
+}
+
+TEST(LintWaivers, WaiverTwoLinesAwayDoesNotCover) {
+  const Report r = LintSnippet(
+      "far_waiver.cpp",
+      "#include <cstdlib>\n"
+      "long F(const char* s) {\n"
+      "  // disco-lint: allow(strto-endptr): fixture\n"
+      "  long unused = 0;\n"
+      "  return std::strtol(s, nullptr, 10) + unused;\n"
+      "}\n");
+  // The violation stands AND the waiver reports itself as stale.
+  EXPECT_EQ(RulesIn(r),
+            (std::vector<std::string>{"waiver", "strto-endptr"}));
+}
+
+TEST(LintWaivers, ReasonIsMandatory) {
+  const Report r = LintSnippet(
+      "no_reason.cpp",
+      "#include <cstdlib>\n"
+      "// disco-lint: allow(strto-endptr)\n"
+      "long F(const char* s) { return std::strtol(s, nullptr, 10); }\n");
+  // Malformed waiver surfaces as a `waiver` finding and suppresses nothing.
+  EXPECT_EQ(RulesIn(r),
+            (std::vector<std::string>{"waiver", "strto-endptr"}));
+}
+
+TEST(LintWaivers, UnknownRuleIsAFinding) {
+  const Report r = LintSnippet(
+      "unknown_rule.cpp",
+      "// disco-lint: allow(no-such-rule): reason here\n"
+      "int x = 0;\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "waiver");
+}
+
+TEST(LintWaivers, FileWaiverCoversWholeFile) {
+  const Report r = LintSnippet(
+      "file_waiver.cpp",
+      "// disco-lint: allow-file(relaxed-atomic): fixture counters\n"
+      "#include <atomic>\n"
+      "std::atomic<int> a{0};\n"
+      "void F() { a.store(1, std::memory_order_relaxed); }\n"
+      "void G() { a.fetch_add(1, std::memory_order_relaxed); }\n");
+  EXPECT_TRUE(r.findings.empty());
+  // waivers_used counts suppressed findings, so one file-level waiver
+  // covering two violations reports two uses.
+  EXPECT_EQ(r.waivers_used, 2u);
+}
+
+TEST(LintWaivers, MetaRuleIsNotWaiverable) {
+  // A waiver cannot waive the waiver rule itself: the stale-waiver finding
+  // survives even when "waiver" is named in an allow list.
+  const Report r = LintSnippet(
+      "waive_waiver.cpp",
+      "// disco-lint: allow(waiver): trying to silence the meta rule\n"
+      "int x = 0;\n");
+  ASSERT_FALSE(r.findings.empty());
+  for (const Finding& f : r.findings) EXPECT_EQ(f.rule, "waiver");
+}
+
+TEST(LintReport, JsonIsByteStableAcrossRuns) {
+  const std::vector<std::string> files =
+      CollectSources(LINT_FIXTURES_DIR, {"."});
+  const std::string a = ReportToJson(LintFiles(LINT_FIXTURES_DIR, files));
+  const std::string b = ReportToJson(LintFiles(LINT_FIXTURES_DIR, files));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace disco::lint

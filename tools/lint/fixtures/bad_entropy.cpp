@@ -1,0 +1,25 @@
+// Lint fixture: every way of smuggling nondeterministic entropy into a
+// run that rule D1 (`entropy`) must catch. Never compiled — lexed only.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned SeedFromDevice() {
+  std::random_device rd;  // finding: random_device
+  return rd();
+}
+
+double UniformFromEngine() {
+  std::mt19937 gen(42);  // finding: banned engine
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(gen);
+}
+
+int LegacyRand() {
+  std::srand(7);      // finding: srand
+  return std::rand();  // finding: rand
+}
+
+unsigned long SeedFromClock() {
+  return static_cast<unsigned long>(time(nullptr));  // finding: time()
+}

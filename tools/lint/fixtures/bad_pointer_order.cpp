@@ -1,0 +1,20 @@
+// Lint fixture: ordering/hashing keyed on pointer values that rule D4
+// (`pointer-order`) must catch — addresses change run to run under ASLR.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+struct Widget {
+  int id;
+};
+
+std::map<Widget*, int> g_by_address;            // finding: map on pointer
+std::set<const Widget*> g_seen;                 // finding: set on pointer
+std::hash<Widget*> g_hasher;                    // finding: hash on pointer
+
+std::uintptr_t AsInteger(const Widget* w) {
+  return reinterpret_cast<std::uintptr_t>(w);   // finding: pointer-to-int
+}
+
+std::map<int, Widget*> g_by_id;  // no finding: pointer value, integer key

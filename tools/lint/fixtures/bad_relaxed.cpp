@@ -1,0 +1,13 @@
+// Lint fixture: memory_order_relaxed outside a waivered stats file that
+// rule D5 (`relaxed-atomic`) must catch.
+#include <atomic>
+
+std::atomic<int> g_flag{0};
+
+void Publish() {
+  g_flag.store(1, std::memory_order_relaxed);  // finding
+}
+
+int Observe() {
+  return g_flag.load(std::memory_order_relaxed);  // finding
+}

@@ -1,0 +1,20 @@
+// Lint fixture: strto* misuse that rule D3 (`strto-endptr`) must catch —
+// a null end pointer and an end pointer that is never examined.
+#include <cstdlib>
+
+unsigned long long ParseWithNull(const char* s) {
+  return std::strtoull(s, nullptr, 10);  // finding: nullptr end pointer
+}
+
+double ParseAndIgnoreEnd(const char* s) {
+  char* ignored_end = nullptr;
+  const double v = std::strtod(s, &ignored_end);  // finding: never examined
+  return v + 1.0;
+}
+
+long ParseChecked(const char* s) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);  // no finding: end is checked
+  if (end == s || *end != '\0') return -1;
+  return v;
+}

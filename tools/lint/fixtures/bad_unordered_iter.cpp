@@ -1,0 +1,31 @@
+// Lint fixture: iteration over unordered containers that rule D2
+// (`unordered-iter`) must catch — range-for, explicit begin(), and a
+// member declared in an included header (transitive propagation).
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "unordered_decl.h"
+
+void DumpTable(const std::unordered_map<int, double>& m) {
+  std::unordered_map<int, double> local = m;
+  for (const auto& [k, v] : local) {  // finding: range-for
+    std::printf("%d %f\n", k, v);
+  }
+}
+
+void DumpSet(const std::unordered_set<int>& seen) {
+  for (auto it = seen.begin(); it != seen.end(); ++it) {  // finding: begin()
+    std::printf("%d\n", *it);
+  }
+}
+
+void DumpIncluded(const Holder& h) {
+  for (const auto& [k, v] : h.bucketed) {  // finding: declared in header
+    std::printf("%d %d\n", k, v);
+  }
+}
+
+bool LookupOnlyIsFine(const std::unordered_map<int, double>& m, int k) {
+  return m.find(k) != m.end();  // no finding: membership test, no iteration
+}

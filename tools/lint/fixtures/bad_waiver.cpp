@@ -1,0 +1,20 @@
+// Lint fixture: waiver misuse the meta rule (`waiver`) must catch — a
+// missing reason, an unknown rule name, and a waiver suppressing nothing.
+#include <atomic>
+
+std::atomic<int> g_count{0};
+
+void MissingReason() {
+  // disco-lint: allow(relaxed-atomic)
+  g_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void UnknownRule() {
+  // disco-lint: allow(made-up-rule): not a real rule identifier
+  g_count.fetch_add(1);
+}
+
+void StaleWaiver() {
+  // disco-lint: allow(entropy): nothing on the next line needs this
+  g_count.fetch_add(1);
+}

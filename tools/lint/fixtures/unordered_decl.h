@@ -1,0 +1,10 @@
+// Lint fixture header: declares an unordered member that
+// bad_unordered_iter.cpp iterates — exercises the transitive include
+// propagation (same mechanism that catches `result.tables[v]` loops).
+#pragma once
+
+#include <unordered_map>
+
+struct Holder {
+  std::unordered_map<int, int> bucketed;
+};

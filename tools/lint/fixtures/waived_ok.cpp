@@ -1,0 +1,25 @@
+// Lint fixture: correctly waivered violations — must produce ZERO
+// findings while counting every waiver as used.
+// disco-lint: allow-file(relaxed-atomic): fixture counters, join-ordered
+#include <atomic>
+#include <cstdio>
+#include <ctime>
+#include <unordered_map>
+
+std::atomic<int> g_count{0};
+
+void CountEvent() {
+  g_count.fetch_add(1, std::memory_order_relaxed);  // covered by allow-file
+}
+
+long StampLog() {
+  // disco-lint: allow(entropy): wall-clock log stamp, never a seed
+  return static_cast<long>(time(nullptr));
+}
+
+void DumpSorted(const std::unordered_map<int, int>& m) {
+  long long sum = 0;
+  // disco-lint: allow(unordered-iter): exact integer sum, order-free
+  for (const auto& [k, v] : m) sum += v;
+  std::printf("%lld\n", sum);
+}

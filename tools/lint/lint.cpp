@@ -1,0 +1,855 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace disco::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------------ lexer
+
+enum class Tok { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line;
+};
+
+struct Waiver {
+  int line = 0;        // line the waiver comment starts on
+  bool file_level = false;
+  std::vector<std::string> rules;
+  std::string reason;
+  bool used = false;
+};
+
+struct FileScan {
+  std::string path;  // root-relative
+  std::vector<Token> tokens;
+  std::vector<Waiver> waivers;
+  std::vector<Finding> waiver_findings;  // malformed waiver syntax
+  std::vector<std::string> includes;     // quoted #include targets
+  std::set<std::string> unordered_names;
+  std::vector<std::string> lines;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string Trimmed(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t");
+  if (a == std::string::npos) return "";
+  std::size_t b = s.find_last_not_of(" \t\r");
+  return s.substr(a, b - a + 1);
+}
+
+const std::vector<std::string> kRules = {
+    "entropy",       "pointer-order", "relaxed-atomic",
+    "strto-endptr",  "unordered-iter", "waiver",
+};
+
+bool IsKnownRule(const std::string& r) {
+  return std::find(kRules.begin(), kRules.end(), r) != kRules.end() &&
+         r != "waiver";  // `waiver` findings cannot be waived
+}
+
+// Parses waiver comments. Returns false when the comment holds no
+// disco-lint marker at all; malformed markers produce a `waiver` finding.
+void ParseWaiverComment(const std::string& comment, int line,
+                        FileScan* scan) {
+  const std::size_t at = comment.find("disco-lint:");
+  if (at == std::string::npos) return;
+  std::string rest = Trimmed(comment.substr(at + 11));
+  bool file_level = false;
+  if (rest.rfind("allow-file(", 0) == 0) {
+    file_level = true;
+    rest = rest.substr(11);
+  } else if (rest.rfind("allow(", 0) == 0) {
+    rest = rest.substr(6);
+  } else {
+    scan->waiver_findings.push_back(
+        {scan->path, line, "waiver",
+         "malformed disco-lint marker (expected allow(...) or "
+         "allow-file(...))",
+         ""});
+    return;
+  }
+  const std::size_t close = rest.find(')');
+  if (close == std::string::npos) {
+    scan->waiver_findings.push_back(
+        {scan->path, line, "waiver", "unterminated waiver rule list", ""});
+    return;
+  }
+  Waiver w;
+  w.line = line;
+  w.file_level = file_level;
+  std::stringstream rules(rest.substr(0, close));
+  std::string rule;
+  while (std::getline(rules, rule, ',')) {
+    rule = Trimmed(rule);
+    if (rule.empty()) continue;
+    if (!IsKnownRule(rule)) {
+      scan->waiver_findings.push_back(
+          {scan->path, line, "waiver",
+           "waiver names unknown rule '" + rule + "'", ""});
+      return;
+    }
+    w.rules.push_back(rule);
+  }
+  std::string tail = Trimmed(rest.substr(close + 1));
+  if (tail.empty() || tail[0] != ':' ||
+      Trimmed(tail.substr(1)).empty()) {
+    scan->waiver_findings.push_back(
+        {scan->path, line, "waiver",
+         "waiver carries no reason (syntax: allow(<rule>): <why>)", ""});
+    return;
+  }
+  if (w.rules.empty()) {
+    scan->waiver_findings.push_back(
+        {scan->path, line, "waiver", "waiver names no rule", ""});
+    return;
+  }
+  w.reason = Trimmed(tail.substr(1));
+  scan->waivers.push_back(w);
+}
+
+// Tokenizes one file: C++ tokens, comment-borne waivers, quoted includes.
+// `<` and `>` are always single-char tokens (so template argument
+// balancing survives `>>`); `::` and `->` are kept whole so they cannot
+// be mistaken for `:` in a range-for or a stray `>`.
+void Tokenize(const std::string& text, FileScan* scan) {
+  std::size_t i = 0;
+  int line = 1;
+  const std::size_t n = text.size();
+  auto peek = [&](std::size_t off) -> char {
+    return i + off < n ? text[i + off] : '\0';
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      const std::size_t eol = text.find('\n', i);
+      const std::string comment =
+          text.substr(i, (eol == std::string::npos ? n : eol) - i);
+      ParseWaiverComment(comment, line, scan);
+      i = eol == std::string::npos ? n : eol;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const std::size_t end = text.find("*/", i + 2);
+      const std::size_t stop = end == std::string::npos ? n : end + 2;
+      ParseWaiverComment(text.substr(i, stop - i), line, scan);
+      line += static_cast<int>(
+          std::count(text.begin() + static_cast<std::ptrdiff_t>(i),
+                     text.begin() + static_cast<std::ptrdiff_t>(stop),
+                     '\n'));
+      i = stop;
+      continue;
+    }
+    if (c == '#') {
+      // Preprocessor directive: consume the logical line (with
+      // continuations), record quoted includes, emit no tokens.
+      std::size_t j = i;
+      std::string direct;
+      while (j < n) {
+        const std::size_t eol = text.find('\n', j);
+        const std::size_t stop = eol == std::string::npos ? n : eol;
+        direct.append(text, j, stop - j);
+        if (!direct.empty() && direct.back() == '\\') {
+          direct.pop_back();
+          j = stop + 1;
+          ++line;
+          continue;
+        }
+        j = stop;
+        break;
+      }
+      std::size_t inc = direct.find("include");
+      if (inc != std::string::npos) {
+        const std::size_t q1 = direct.find('"', inc);
+        if (q1 != std::string::npos) {
+          const std::size_t q2 = direct.find('"', q1 + 1);
+          if (q2 != std::string::npos) {
+            scan->includes.push_back(direct.substr(q1 + 1, q2 - q1 - 1));
+          }
+        }
+      }
+      i = j;
+      continue;
+    }
+    if (c == 'R' && peek(1) == '"') {
+      // Raw string literal R"delim( ... )delim".
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && text[p] != '(') delim += text[p++];
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = text.find(closer, p);
+      const std::size_t stop =
+          end == std::string::npos ? n : end + closer.size();
+      line += static_cast<int>(
+          std::count(text.begin() + static_cast<std::ptrdiff_t>(i),
+                     text.begin() + static_cast<std::ptrdiff_t>(stop),
+                     '\n'));
+      scan->tokens.push_back({Tok::kString, "<raw>", line});
+      i = stop;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\') ++j;
+        if (text[j] == '\n') ++line;
+        ++j;
+      }
+      scan->tokens.push_back(
+          {quote == '"' ? Tok::kString : Tok::kChar, "<lit>", line});
+      i = j + 1;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::size_t j = i + 1;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      scan->tokens.push_back({Tok::kIdent, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < n && (IsIdentChar(text[j]) || text[j] == '.' ||
+                       ((text[j] == '+' || text[j] == '-') &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                         text[j - 1] == 'p' || text[j - 1] == 'P')))) {
+        ++j;
+      }
+      scan->tokens.push_back({Tok::kNumber, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (c == ':' && peek(1) == ':') {
+      scan->tokens.push_back({Tok::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      scan->tokens.push_back({Tok::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    scan->tokens.push_back({Tok::kPunct, std::string(1, c), line});
+    ++i;
+  }
+}
+
+// ------------------------------------------------- declaration tracking
+
+bool IsUnorderedContainer(const std::string& s) {
+  return s == "unordered_map" || s == "unordered_set" ||
+         s == "unordered_multimap" || s == "unordered_multiset";
+}
+
+// Advances past a balanced <...> starting at tokens[i] == "<"; returns
+// the index just after the matching ">", or `i` when unbalanced within a
+// sane window (macro soup — give up silently).
+std::size_t SkipTemplateArgs(const std::vector<Token>& t, std::size_t i) {
+  if (i >= t.size() || t[i].text != "<") return i;
+  int depth = 0;
+  for (std::size_t j = i; j < t.size() && j < i + 400; ++j) {
+    if (t[j].kind != Tok::kPunct) continue;
+    if (t[j].text == "<") ++depth;
+    if (t[j].text == ">" && --depth == 0) return j + 1;
+    if (t[j].text == ";") break;  // declarations never span statements
+  }
+  return i;
+}
+
+// Records names declared as (possibly nested) unordered containers:
+//   std::unordered_map<K, V> name;
+//   std::vector<std::unordered_map<K, V>> name;
+//   const std::unordered_map<K, V>& name
+void CollectUnorderedNames(FileScan* scan) {
+  const std::vector<Token>& t = scan->tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent || !IsUnorderedContainer(t[i].text)) {
+      continue;
+    }
+    std::size_t j = SkipTemplateArgs(t, i + 1);
+    if (j == i + 1) continue;  // no template args — not a declaration
+    // Close any enclosing template layers, skip ref/ptr/const.
+    while (j < t.size() &&
+           (t[j].text == ">" || t[j].text == "&" || t[j].text == "*" ||
+            t[j].text == "const")) {
+      ++j;
+    }
+    if (j >= t.size() || t[j].kind != Tok::kIdent) continue;
+    const std::string& name = t[j].text;
+    if (j + 1 < t.size()) {
+      const std::string& nxt = t[j + 1].text;
+      // Declaration-ish continuations only; `(` would be a function
+      // returning the container, not a variable.
+      if (nxt == ";" || nxt == "=" || nxt == "{" || nxt == "," ||
+          nxt == ")") {
+        scan->unordered_names.insert(name);
+      }
+    } else {
+      scan->unordered_names.insert(name);
+    }
+  }
+}
+
+// ------------------------------------------------------------ rule pass
+
+struct RuleContext {
+  const FileScan* scan;
+  const std::set<std::string>* env;  // unordered names incl. includes
+  std::vector<Finding>* findings;
+};
+
+void Emit(RuleContext* ctx, int line, const std::string& rule,
+          const std::string& message) {
+  std::string snippet;
+  if (line >= 1 &&
+      static_cast<std::size_t>(line) <= ctx->scan->lines.size()) {
+    snippet = Trimmed(ctx->scan->lines[static_cast<std::size_t>(line) - 1]);
+  }
+  ctx->findings->push_back({ctx->scan->path, line, rule, message, snippet});
+}
+
+// Finds the matching ")" for the "(" at index i; npos-ish fallback.
+std::size_t MatchParen(const std::vector<Token>& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].kind != Tok::kPunct) continue;
+    if (t[j].text == "(") ++depth;
+    if (t[j].text == ")" && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+bool IsMemberAccess(const std::vector<Token>& t, std::size_t i) {
+  return i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->");
+}
+
+// True when tokens[i] is `std`-qualified or unqualified (not foo::bar).
+bool IsStdOrBare(const std::vector<Token>& t, std::size_t i) {
+  if (IsMemberAccess(t, i)) return false;
+  if (i > 0 && t[i - 1].text == "::") {
+    return i > 1 && t[i - 2].text == "std";
+  }
+  return true;
+}
+
+// --- D1: entropy -------------------------------------------------------
+
+const std::set<std::string> kBannedEngines = {
+    "random_device", "mt19937",    "mt19937_64",       "minstd_rand",
+    "minstd_rand0",  "knuth_b",    "default_random_engine",
+    "ranlux24",      "ranlux24_base", "ranlux48",      "ranlux48_base",
+    "random_shuffle"};
+
+void RuleEntropy(RuleContext* ctx) {
+  const std::vector<Token>& t = ctx->scan->tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    const std::string& s = t[i].text;
+    if (kBannedEngines.count(s) && IsStdOrBare(t, i)) {
+      Emit(ctx, t[i].line, "entropy",
+           "nondeterministic or raw std engine '" + s +
+               "' — all randomness must flow through util/rng.h "
+               "(Rng/TaskRng)");
+      continue;
+    }
+    if ((s == "rand" || s == "srand") && IsStdOrBare(t, i) &&
+        i + 1 < t.size() && t[i + 1].text == "(") {
+      Emit(ctx, t[i].line, "entropy",
+           "'" + s + "()' draws from hidden global state — use an "
+           "explicitly seeded Rng");
+      continue;
+    }
+    if (s == "time" && IsStdOrBare(t, i) && i + 1 < t.size() &&
+        t[i + 1].text == "(") {
+      // time(), time(0), time(nullptr), time(NULL): a wall-clock seed.
+      const std::size_t close = MatchParen(t, i + 1);
+      const std::size_t args = close - (i + 2);
+      if (args == 0 ||
+          (args == 1 && (t[i + 2].text == "0" || t[i + 2].text == "NULL" ||
+                         t[i + 2].text == "nullptr"))) {
+        Emit(ctx, t[i].line, "entropy",
+             "time() is a wall-clock entropy source — seeds must be "
+             "explicit");
+      }
+    }
+  }
+  // Clock reads feeding a seed: `now()` in the same statement as
+  // Rng/TaskRng/seed-ish identifiers. Timing measurements (no seed in
+  // the statement) stay legal.
+  std::size_t stmt_begin = 0;
+  for (std::size_t i = 0; i <= t.size(); ++i) {
+    const bool boundary =
+        i == t.size() ||
+        (t[i].kind == Tok::kPunct &&
+         (t[i].text == ";" || t[i].text == "{" || t[i].text == "}"));
+    if (!boundary) continue;
+    int now_line = 0;
+    bool seedish = false;
+    for (std::size_t j = stmt_begin; j < i; ++j) {
+      if (t[j].kind != Tok::kIdent) continue;
+      if (t[j].text == "now" && j + 1 < i && t[j + 1].text == "(") {
+        now_line = t[j].line;
+      }
+      std::string lower = t[j].text;
+      std::transform(lower.begin(), lower.end(), lower.begin(),
+                     [](unsigned char ch) { return std::tolower(ch); });
+      if (t[j].text == "Rng" || t[j].text == "TaskRng" ||
+          lower.find("seed") != std::string::npos) {
+        seedish = true;
+      }
+    }
+    if (now_line != 0 && seedish) {
+      Emit(ctx, now_line, "entropy",
+           "clock read (now()) in a seed-bearing statement — seeds must "
+           "not depend on wall time");
+    }
+    stmt_begin = i + 1;
+  }
+}
+
+// --- D2: unordered-iter ------------------------------------------------
+
+// Walks back from the token before `end` over trailing [...] index
+// groups; returns the identifier that owns them, or "".
+std::string TailName(const std::vector<Token>& t, std::size_t begin,
+                     std::size_t end) {
+  std::size_t j = end;
+  while (j > begin) {
+    const Token& tk = t[j - 1];
+    if (tk.kind == Tok::kPunct && tk.text == "]") {
+      int depth = 0;
+      while (j > begin) {
+        --j;
+        if (t[j].text == "]") ++depth;
+        if (t[j].text == "[" && --depth == 0) break;
+      }
+      continue;
+    }
+    if (tk.kind == Tok::kIdent) return tk.text;
+    return "";
+  }
+  return "";
+}
+
+void RuleUnorderedIter(RuleContext* ctx) {
+  const std::vector<Token>& t = ctx->scan->tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // Range-for: for ( decl : expr )
+    if (t[i].kind == Tok::kIdent && t[i].text == "for" &&
+        i + 1 < t.size() && t[i + 1].text == "(") {
+      const std::size_t close = MatchParen(t, i + 1);
+      std::size_t colon = close;
+      int depth = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (t[j].kind != Tok::kPunct) continue;
+        if (t[j].text == "(" || t[j].text == "[" || t[j].text == "{") {
+          ++depth;
+        }
+        if (t[j].text == ")" || t[j].text == "]" || t[j].text == "}") {
+          --depth;
+        }
+        if (t[j].text == ":" && depth == 1) {
+          colon = j;
+          break;
+        }
+      }
+      if (colon != close) {
+        const std::string name = TailName(t, colon + 1, close);
+        if (!name.empty() && ctx->env->count(name)) {
+          Emit(ctx, t[i].line, "unordered-iter",
+               "range-for over unordered container '" + name +
+                   "' — iteration order is stdlib-defined; sort first or "
+                   "waive with why order cannot matter");
+        }
+      }
+    }
+    // Iterator access: name[...]* . begin()/end()/...
+    if (t[i].kind == Tok::kIdent && ctx->env->count(t[i].text) &&
+        !IsMemberAccess(t, i)) {
+      std::size_t j = i + 1;
+      while (j < t.size() && t[j].text == "[") {
+        int depth = 0;
+        for (; j < t.size(); ++j) {
+          if (t[j].text == "[") ++depth;
+          if (t[j].text == "]" && --depth == 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+      // Only begin() flavors: an iteration must start somewhere, while a
+      // bare `.end()` is the harmless `find(x) != end()` idiom.
+      if (j + 2 < t.size() && t[j].text == "." &&
+          t[j + 1].kind == Tok::kIdent &&
+          (t[j + 1].text == "begin" || t[j + 1].text == "cbegin" ||
+           t[j + 1].text == "rbegin") &&
+          t[j + 2].text == "(") {
+        Emit(ctx, t[i].line, "unordered-iter",
+             "iterator over unordered container '" + t[i].text +
+                 "' (." + t[j + 1].text +
+                 "()) — iteration order is stdlib-defined");
+      }
+    }
+  }
+}
+
+// --- D3: strto-endptr --------------------------------------------------
+
+bool IsStrtoName(const std::string& s) {
+  if (s.rfind("strto", 0) != 0) return false;
+  const std::string suffix = s.substr(5);
+  return suffix == "l" || suffix == "ll" || suffix == "ul" ||
+         suffix == "ull" || suffix == "f" || suffix == "d" ||
+         suffix == "ld" || suffix == "imax" || suffix == "umax";
+}
+
+void RuleStrtoEndptr(RuleContext* ctx) {
+  const std::vector<Token>& t = ctx->scan->tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent || !IsStrtoName(t[i].text)) continue;
+    if (!IsStdOrBare(t, i)) continue;
+    if (i + 1 >= t.size() || t[i + 1].text != "(") continue;
+    const std::size_t close = MatchParen(t, i + 1);
+    // Split top-level arguments.
+    std::vector<std::pair<std::size_t, std::size_t>> args;
+    std::size_t arg_begin = i + 2;
+    int depth = 0;
+    for (std::size_t j = i + 2; j < close; ++j) {
+      if (t[j].kind == Tok::kPunct) {
+        if (t[j].text == "(" || t[j].text == "[" || t[j].text == "{") {
+          ++depth;
+        }
+        if (t[j].text == ")" || t[j].text == "]" || t[j].text == "}") {
+          --depth;
+        }
+        if (t[j].text == "," && depth == 0) {
+          args.push_back({arg_begin, j});
+          arg_begin = j + 1;
+          continue;
+        }
+      }
+    }
+    if (arg_begin < close) args.push_back({arg_begin, close});
+    if (args.size() < 2) {
+      Emit(ctx, t[i].line, "strto-endptr",
+           t[i].text + " without an end-pointer argument");
+      continue;
+    }
+    const auto [eb, ee] = args[1];
+    if (ee - eb == 1 &&
+        (t[eb].text == "nullptr" || t[eb].text == "NULL" ||
+         t[eb].text == "0")) {
+      Emit(ctx, t[i].line, "strto-endptr",
+           t[i].text + " called with a null end pointer — garbage "
+           "input parses as 0; pass &end and check it");
+      continue;
+    }
+    // Find the end-pointer variable (last identifier of the argument,
+    // handles `&end` and `&state.end`).
+    std::string endvar;
+    for (std::size_t j = eb; j < ee; ++j) {
+      if (t[j].kind == Tok::kIdent) endvar = t[j].text;
+    }
+    if (endvar.empty()) continue;  // expression — assume a wrapper checks
+    bool examined = false;
+    const std::size_t horizon = std::min(t.size(), close + 90);
+    for (std::size_t j = close + 1; j < horizon; ++j) {
+      if (t[j].kind == Tok::kIdent && t[j].text == endvar) {
+        examined = true;
+        break;
+      }
+    }
+    if (!examined) {
+      Emit(ctx, t[i].line, "strto-endptr",
+           t[i].text + " end pointer '" + endvar +
+               "' is never examined after the call");
+    }
+  }
+}
+
+// --- D4: pointer-order -------------------------------------------------
+
+// True when the first top-level template argument after tokens[i] == "<"
+// ends with `*` (a pointer type).
+bool FirstTemplateArgIsPointer(const std::vector<Token>& t,
+                               std::size_t i) {
+  if (i >= t.size() || t[i].text != "<") return false;
+  int depth = 0;
+  bool last_is_star = false;
+  for (std::size_t j = i; j < t.size() && j < i + 200; ++j) {
+    if (t[j].kind == Tok::kPunct) {
+      if (t[j].text == "<" || t[j].text == "(") ++depth;
+      if (t[j].text == ">" || t[j].text == ")") {
+        --depth;
+        if (depth == 0) return last_is_star;
+      }
+      if (t[j].text == "," && depth == 1) return last_is_star;
+      if (t[j].text == ";") return false;
+    }
+    if (j > i) last_is_star = t[j].text == "*";
+  }
+  return false;
+}
+
+void RulePointerOrder(RuleContext* ctx) {
+  const std::vector<Token>& t = ctx->scan->tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    const std::string& s = t[i].text;
+    const bool ordered_container = s == "map" || s == "set" ||
+                                   s == "multimap" || s == "multiset";
+    const bool comparator_or_hash =
+        s == "hash" || s == "less" || s == "greater";
+    if ((ordered_container || comparator_or_hash) &&
+        i > 0 && t[i - 1].text == "::" && i > 1 &&
+        t[i - 2].text == "std" && i + 1 < t.size() &&
+        FirstTemplateArgIsPointer(t, i + 1)) {
+      Emit(ctx, t[i].line, "pointer-order",
+           "std::" + s + " keyed on a pointer type — addresses are "
+           "ASLR-dependent, so ordering/hashing by them is "
+           "nondeterministic across runs");
+      continue;
+    }
+    if (s == "reinterpret_cast" && i + 1 < t.size() &&
+        t[i + 1].text == "<") {
+      const std::size_t end = SkipTemplateArgs(t, i + 1);
+      for (std::size_t j = i + 1; j < end; ++j) {
+        if (t[j].kind == Tok::kIdent &&
+            (t[j].text == "uintptr_t" || t[j].text == "intptr_t")) {
+          Emit(ctx, t[i].line, "pointer-order",
+               "pointer converted to integer — address-derived values "
+               "must not feed ordering, hashing, or output");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// --- D5: relaxed-atomic ------------------------------------------------
+
+void RuleRelaxedAtomic(RuleContext* ctx) {
+  const std::vector<Token>& t = ctx->scan->tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    const bool spelled_enum = t[i].text == "memory_order_relaxed";
+    const bool spelled_scoped =
+        t[i].text == "memory_order" && i + 2 < t.size() &&
+        t[i + 1].text == "::" && t[i + 2].text == "relaxed";
+    if (spelled_enum || spelled_scoped) {
+      Emit(ctx, t[i].line, "relaxed-atomic",
+           "memory_order_relaxed outside a waivered stats/counter file — "
+           "relaxed ops must never order data that reaches output");
+    }
+  }
+}
+
+// ------------------------------------------------------------- pipeline
+
+std::string NormalizeSlashes(std::string p) {
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+bool HasSourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".h" || ext == ".hpp";
+}
+
+}  // namespace
+
+const std::vector<std::string>& RuleNames() { return kRules; }
+
+std::vector<std::string> CollectSources(const std::string& root,
+                                        const std::vector<std::string>& dirs) {
+  std::vector<std::string> out;
+  for (const std::string& dir : dirs) {
+    const fs::path full = fs::path(root) / dir;
+    std::error_code ec;
+    if (fs::is_regular_file(full, ec)) {
+      out.push_back(dir);
+      continue;
+    }
+    if (!fs::is_directory(full, ec)) continue;
+    for (fs::recursive_directory_iterator it(full, ec), end;
+         it != end && !ec; it.increment(ec)) {
+      if (!it->is_regular_file() || !HasSourceExtension(it->path())) {
+        continue;
+      }
+      out.push_back(NormalizeSlashes(
+          fs::relative(it->path(), root, ec).string()));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Report LintFiles(const std::string& root,
+                 const std::vector<std::string>& files) {
+  Report report;
+  std::vector<FileScan> scans;
+  scans.reserve(files.size());
+  for (const std::string& rel : files) {
+    const fs::path full =
+        fs::path(rel).is_absolute() ? fs::path(rel) : fs::path(root) / rel;
+    std::ifstream f(full);
+    if (!f) continue;
+    std::stringstream buf;
+    buf << f.rdbuf();
+    FileScan scan;
+    scan.path = NormalizeSlashes(rel);
+    const std::string text = buf.str();
+    {
+      std::stringstream ls(text);
+      std::string ln;
+      while (std::getline(ls, ln)) scan.lines.push_back(ln);
+    }
+    Tokenize(text, &scan);
+    CollectUnorderedNames(&scan);
+    scans.push_back(std::move(scan));
+  }
+  report.files_scanned = scans.size();
+
+  // Resolve quoted includes to scanned files (suffix match), then
+  // propagate unordered-container names transitively: a test iterating
+  // `result.tables[v]` is caught even though `tables` is declared in
+  // sim/pv_sim.h.
+  auto resolve = [&](const std::string& inc) {
+    std::vector<std::size_t> hits;
+    for (std::size_t s = 0; s < scans.size(); ++s) {
+      const std::string& p = scans[s].path;
+      if (p == inc || (p.size() > inc.size() &&
+                       p.compare(p.size() - inc.size() - 1, 1, "/") == 0 &&
+                       p.compare(p.size() - inc.size(), inc.size(), inc) ==
+                           0)) {
+        hits.push_back(s);
+      }
+    }
+    return hits;
+  };
+  std::vector<std::vector<std::size_t>> deps(scans.size());
+  for (std::size_t s = 0; s < scans.size(); ++s) {
+    for (const std::string& inc : scans[s].includes) {
+      for (std::size_t d : resolve(NormalizeSlashes(inc))) {
+        deps[s].push_back(d);
+      }
+    }
+  }
+  // Fixed-point union (the include graph is tiny).
+  std::vector<std::set<std::string>> env(scans.size());
+  for (std::size_t s = 0; s < scans.size(); ++s) {
+    env[s] = scans[s].unordered_names;
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t s = 0; s < scans.size(); ++s) {
+      for (std::size_t d : deps[s]) {
+        for (const std::string& name : env[d]) {
+          if (env[s].insert(name).second) changed = true;
+        }
+      }
+    }
+  }
+
+  std::vector<Finding> raw;
+  for (std::size_t s = 0; s < scans.size(); ++s) {
+    RuleContext ctx{&scans[s], &env[s], &raw};
+    RuleEntropy(&ctx);
+    RuleUnorderedIter(&ctx);
+    RuleStrtoEndptr(&ctx);
+    RulePointerOrder(&ctx);
+    RuleRelaxedAtomic(&ctx);
+
+    // Apply waivers: a line waiver covers its own line and the next; a
+    // file waiver covers the whole file.
+    for (Finding& f : raw) {
+      if (f.file != scans[s].path || f.rule == "waiver") continue;
+      for (Waiver& w : scans[s].waivers) {
+        const bool rule_match =
+            std::find(w.rules.begin(), w.rules.end(), f.rule) !=
+            w.rules.end();
+        if (!rule_match) continue;
+        if (w.file_level || w.line == f.line || w.line + 1 == f.line) {
+          w.used = true;
+          f.rule.clear();  // mark suppressed
+          ++report.waivers_used;
+          break;
+        }
+      }
+    }
+    for (const Waiver& w : scans[s].waivers) {
+      if (!w.used) {
+        raw.push_back(
+            {scans[s].path, w.line, "waiver",
+             "waiver suppresses nothing (stale? fix the code or delete "
+             "it)",
+             ""});
+      }
+    }
+    for (const Finding& f : scans[s].waiver_findings) raw.push_back(f);
+  }
+  for (Finding& f : raw) {
+    if (!f.rule.empty()) report.findings.push_back(std::move(f));
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  return report;
+}
+
+std::string ReportToJson(const Report& report) {
+  json::Value root = json::Value::Object();
+  root.Set("version", json::Value::Number(1));
+  root.Set("files_scanned",
+           json::Value::Number(static_cast<double>(report.files_scanned)));
+  root.Set("waivers_used",
+           json::Value::Number(static_cast<double>(report.waivers_used)));
+  json::Value findings = json::Value::Array();
+  for (const Finding& f : report.findings) {
+    json::Value entry = json::Value::Object();
+    entry.Set("file", json::Value::Str(f.file));
+    entry.Set("line", json::Value::Number(f.line));
+    entry.Set("rule", json::Value::Str(f.rule));
+    entry.Set("message", json::Value::Str(f.message));
+    entry.Set("snippet", json::Value::Str(f.snippet));
+    findings.Push(std::move(entry));
+  }
+  root.Set("findings", std::move(findings));
+  return root.Dump();
+}
+
+}  // namespace disco::lint

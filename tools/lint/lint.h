@@ -1,0 +1,90 @@
+// disco_lint — determinism-invariant static analysis for this repository.
+//
+// Every figure, sweep, and serving benchmark in this repo is required to
+// be bit-identical across thread counts, executor backends, and cold/warm
+// store starts; CI compares bytes, not tolerances. The sanitizers catch
+// memory and race bugs, but a whole class of *determinism* bugs is
+// invisible to them until a flaky diff fires: an accidental
+// std::random_device, iteration over an unordered container feeding
+// output, a strtoull whose end pointer is never looked at (the exact bug
+// class fixed in the Args parser), ordering keyed on pointer values. This
+// linter enforces those invariants statically, at every call site, on
+// every build.
+//
+// Rules (all waiverable except `waiver` itself):
+//   entropy         D1: nondeterministic entropy sources. std::random_device,
+//                   std::rand/srand, the std::mt19937 family, time(0)-style
+//                   calls, and wall-clock reads (`now()`) inside a statement
+//                   that also touches Rng/TaskRng/seed. All randomness must
+//                   flow through util/rng.h streams.
+//   unordered-iter  D2: range-for or begin()/end() iteration over a
+//                   std::unordered_map/unordered_set. Iteration order is a
+//                   property of the standard library, not of the program;
+//                   any use that can feed output must sort first or carry a
+//                   waiver saying why order cannot matter.
+//   strto-endptr    D3: every strto{l,ll,ul,ull,f,d,ld} call must pass a
+//                   real end pointer and examine it afterwards. Passing
+//                   nullptr (or never reading the end pointer) silently
+//                   turns garbage into 0.
+//   pointer-order   D4: no ordering or hashing keyed on pointer values:
+//                   std::map/std::set keyed on a pointer type,
+//                   std::hash/std::less/std::greater over pointers, or
+//                   reinterpret_cast to (u)intptr_t. Addresses change run
+//                   to run under ASLR.
+//   relaxed-atomic  D5: std::memory_order_relaxed only in waivered
+//                   stats/counter code, where the accumulation is
+//                   commutative and a join orders the final read.
+//   waiver          meta: malformed waivers (missing reason, unknown rule)
+//                   and waivers that no longer suppress anything. Not
+//                   itself waiverable — a waiver must always carry a live
+//                   reason.
+//
+// Waiver syntax (the reason is mandatory):
+//   // disco-lint: allow(<rule>[,<rule>...]): <reason>        (line or line above)
+//   // disco-lint: allow-file(<rule>[,...]): <reason>         (whole file)
+//
+// The analysis is lexical (a real C++ tokenizer, no preprocessor or type
+// checker). Unordered-container variables are tracked by declaration and
+// propagated through quoted #includes of in-tree headers, so a range-for
+// over `result.tables[v]` in a test is caught even though the declaration
+// lives in sim/pv_sim.h. Known limits: macro bodies are not expanded, and
+// aliases of unordered containers (`using M = std::unordered_map<...>`)
+// are not tracked.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace disco::lint {
+
+struct Finding {
+  std::string file;  // relative to the scan root, forward slashes
+  int line = 0;
+  std::string rule;
+  std::string message;
+  std::string snippet;  // the offending source line, trimmed
+};
+
+struct Report {
+  std::vector<Finding> findings;  // sorted by (file, line, rule)
+  std::size_t files_scanned = 0;
+  std::size_t waivers_used = 0;
+};
+
+/// All rule identifiers accepted in waivers, sorted.
+const std::vector<std::string>& RuleNames();
+
+/// Lints `files` (paths relative to `root`, or absolute). Findings carry
+/// root-relative paths.
+Report LintFiles(const std::string& root, const std::vector<std::string>& files);
+
+/// Collects .cpp/.cc/.h/.hpp files under root/<dir> for each dir, sorted.
+/// A `dir` that is a single file is taken as-is.
+std::vector<std::string> CollectSources(const std::string& root,
+                                        const std::vector<std::string>& dirs);
+
+/// Machine-readable report: {"version", "files_scanned", "waivers_used",
+/// "findings": [{file,line,rule,message,snippet}...]} — byte-stable.
+std::string ReportToJson(const Report& report);
+
+}  // namespace disco::lint
