@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -11,6 +12,7 @@
 
 #include "exec/wire.h"
 #include "graph/generators.h"
+#include "graph/io.h"
 #include "runtime/thread_pool.h"
 #include "sim/metrics.h"
 #include "store/artifact_store.h"
@@ -77,6 +79,17 @@ void PrintStoreCountersAtExit() {
                static_cast<unsigned long long>(c.tree_store_hits.load()),
                static_cast<unsigned long long>(c.tree_dijkstras.load()),
                static_cast<unsigned long long>(c.tree_writebacks.load()),
+               g_store_run_uses_procs
+                   ? " (driver process only; procs workers keep their own)"
+                   : "");
+  // Graph provenance on its own line (the smoke scripts grep per line):
+  // generated=0 with mmap>0 is the proof a warm run rebuilt nothing.
+  const GraphLoadStats& gs = GraphLoadCounters();
+  std::fprintf(stderr,
+               "[graph] sources: generated=%llu mmap=%llu decode=%llu%s\n",
+               static_cast<unsigned long long>(gs.generated.load()),
+               static_cast<unsigned long long>(gs.mmap_loads.load()),
+               static_cast<unsigned long long>(gs.decode_loads.load()),
                g_store_run_uses_procs
                    ? " (driver process only; procs workers keep their own)"
                    : "");
@@ -323,6 +336,18 @@ void Banner(const std::string& figure, const std::string& expectation) {
               figure.c_str(), expectation.c_str());
 }
 
+std::uint64_t PeakRssKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %" SCNu64 " kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
 namespace {
 
 // "%-28s" without snprintf's buffer limit: labels longer than the column
@@ -414,6 +439,39 @@ Graph MakeGeometric(const Args& args, NodeId def_n) {
 Graph MakeGnm(const Args& args, NodeId def_n) {
   const NodeId n = args.NOr(args.quick ? 2048 : def_n);
   return ConnectedGnm(n, 4ull * n, args.seed);
+}
+
+bool IsGraphFingerprint(const std::string& s) {
+  return s.size() == 64 &&
+         s.find_first_not_of("0123456789abcdef") == std::string::npos;
+}
+
+store::ArtifactKey GraphSnapshotKey(const std::string& graph_fp,
+                                    int version) {
+  store::ArtifactKey key;
+  key.kind = "graph";
+  key.graph = graph_fp;
+  key.scope = "snapshot";
+  key.version = version;
+  return key;
+}
+
+std::optional<Graph> LoadStoredGraph(const std::string& graph_fp) {
+  store::ArtifactStore* const st = store::ProcessStore();
+  if (st == nullptr) return std::nullopt;
+  // Current format first, then the key older stores published under.
+  for (const int version : {2, 1}) {
+    std::shared_ptr<store::ArtifactReader> reader =
+        st->Open(GraphSnapshotKey(graph_fp, version));
+    if (reader == nullptr || reader->frame_count() < 1) continue;
+    const Span<const std::uint8_t> frame = reader->frame(0);
+    const Span<const char> bytes(
+        reinterpret_cast<const char*>(frame.data()), frame.size());
+    // The reader (an open mmap of the object file) becomes the graph's
+    // backing: v2 frames are viewed in place, no copy, no decode.
+    if (auto g = ViewGraphSnapshot(reader, bytes)) return g;
+  }
+  return std::nullopt;
 }
 
 std::vector<std::string> RunTasksOrDie(

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,7 @@
 #include "graph/graph.h"
 #include "runtime/parallel_for.h"
 #include "sim/scenario.h"
+#include "store/artifact_store.h"
 #include "util/stats.h"
 
 namespace disco::bench {
@@ -143,6 +145,11 @@ struct CampaignArgs {
 /// Prints a banner naming the figure and the paper's expectation.
 void Banner(const std::string& figure, const std::string& expectation);
 
+/// This process's peak resident set size in KiB (Linux /proc VmHWM);
+/// 0 where unavailable. The graph-scale benches report it — at a million
+/// nodes memory, not time, is the capacity wall.
+std::uint64_t PeakRssKb();
+
 /// WriteFile, but a failed write (including a flush/close failure such as
 /// ENOSPC) warns on stderr naming the path instead of being dropped.
 void WriteFileOrWarn(const std::string& path, const std::string& contents);
@@ -182,6 +189,24 @@ Graph MakeAsLevel(const Args& args);       // paper: 30,610 nodes
 Graph MakeRouterLevel(const Args& args);   // paper: 192,244 (default 32,768)
 Graph MakeGeometric(const Args& args, NodeId def_n);  // latency-annotated
 Graph MakeGnm(const Args& args, NodeId def_n);        // avg degree 8
+
+/// True when `s` is a 64-hex graph fingerprint (the names disco_store
+/// prints and benches accept in place of a topology).
+bool IsGraphFingerprint(const std::string& s);
+
+/// Artifact-store key for a graph snapshot. `version` is the snapshot
+/// format version — 2 (the current packed CSR format) for publishing;
+/// readers also probe 1 for stores populated before the v2 bump.
+store::ArtifactKey GraphSnapshotKey(const std::string& graph_fp,
+                                    int version = 2);
+
+/// Resolves a graph fingerprint through the process store: a v2 snapshot
+/// artifact comes back as a zero-copy Graph view over the store's mmap
+/// (the physical pages are shared read-only across every process mapping
+/// the object, including procs-backend workers); a v1 artifact is
+/// decoded. std::nullopt when no store is open or neither version is
+/// present.
+std::optional<Graph> LoadStoredGraph(const std::string& graph_fp);
 
 /// Runs `count` tasks through the executor selected by --backend/--workers
 /// and returns the raw result strings in task order. On execution failure

@@ -2,16 +2,25 @@
 //
 //   bench_compare <current.json> <baseline.json>
 //                 [--min-qps-ratio=<f>] [--max-p99-ratio=<f>]
+//                 [--min-mmap-speedup=<f>]
 //   bench_compare --check <file.json>
 //
-// Compares a fresh disco_serve run against the committed perf-trajectory
-// baseline: every scheme in the baseline must be present, keep at least
-// min-qps-ratio of the baseline throughput (default 0.25), and stay
-// within max-p99-ratio of the baseline p99 latency (default 4.0). The
-// tolerances are deliberately generous — machines differ, CI runners are
-// noisy — so only a real collapse fails; a later perf PR tightens its
-// claim by committing a better baseline. --check just validates that a
-// file parses and carries the serve schema (serve_smoke uses it).
+// The "bench" field picks the schema; current and baseline must agree.
+//
+// disco_serve: every scheme in the baseline must be present, keep at
+// least min-qps-ratio of the baseline throughput (default 0.25), and
+// stay within max-p99-ratio of the baseline p99 latency (default 4.0).
+//
+// disco_graphbench: every generator in the baseline must be present and
+// keep min-qps-ratio of its baseline edges/s; snapshot encode/decode
+// MB/s keep the same ratio; and the mmap-vs-generate speedup must stay
+// at least min-mmap-speedup (default 1.0 — CI passes a real floor),
+// which is the out-of-core claim itself, not a machine-speed artifact.
+//
+// The tolerances are deliberately generous — machines differ, CI runners
+// are noisy — so only a real collapse fails; a later perf PR tightens
+// its claim by committing a better baseline. --check just validates that
+// a file parses and carries a known schema (the smoke scripts use it).
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -28,10 +37,14 @@ namespace {
 constexpr const char* kUsage =
     "usage: bench_compare <current.json> <baseline.json>\n"
     "                     [--min-qps-ratio=<f>] [--max-p99-ratio=<f>]\n"
+    "                     [--min-mmap-speedup=<f>]\n"
     "       bench_compare --check <file.json>\n"
-    "  compares a BENCH_serve.json run against the committed baseline\n"
-    "  (generous tolerances; exit 1 on a regression). --check only\n"
-    "  validates that the file parses and carries the serve schema.\n";
+    "  compares a BENCH_serve.json or BENCH_graph.json run against the\n"
+    "  committed baseline (generous tolerances; exit 1 on a regression).\n"
+    "  --min-qps-ratio also floors graphbench throughput ratios;\n"
+    "  --min-mmap-speedup floors the graphbench mmap-vs-generate factor.\n"
+    "  --check only validates that the file parses and carries a known\n"
+    "  schema.\n";
 
 bool LoadJson(const std::string& path, json::Value* out) {
   std::ifstream f(path);
@@ -94,9 +107,129 @@ const json::Value* FindScheme(const json::Value& doc,
   return nullptr;
 }
 
+/// Schema check for disco_graphbench output (BENCH_graph.json).
+bool ValidateGraph(const std::string& path, const json::Value& v) {
+  const auto complain = [&](const char* what) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(), what);
+    return false;
+  };
+  if (!v.is_object()) return complain("top level is not an object");
+  if (v.StringOr("bench", "") != "disco_graphbench") {
+    return complain("\"bench\" is not \"disco_graphbench\"");
+  }
+  const json::Value* gens = v.Find("generators");
+  if (gens == nullptr || !gens->is_array() || gens->Items().empty()) {
+    return complain("\"generators\" is missing or empty");
+  }
+  for (const json::Value& g : gens->Items()) {
+    if (!g.is_object() || g.StringOr("name", "").empty()) {
+      return complain("generator entry without a name");
+    }
+    const json::Value* eps = g.Find("edges_per_s");
+    if (eps == nullptr || !eps->is_number() || eps->AsNumber() < 0) {
+      std::fprintf(stderr,
+                   "bench_compare: %s: generator \"%s\" lacks numeric "
+                   "\"edges_per_s\"\n",
+                   path.c_str(), g.StringOr("name", "?").c_str());
+      return false;
+    }
+  }
+  const json::Value* snap = v.Find("snapshot");
+  if (snap == nullptr || !snap->is_object()) {
+    return complain("\"snapshot\" is missing");
+  }
+  for (const char* field :
+       {"encode_mb_s", "decode_mb_s", "mmap_speedup"}) {
+    const json::Value* f = snap->Find(field);
+    if (f == nullptr || !f->is_number() || f->AsNumber() < 0) {
+      std::fprintf(stderr,
+                   "bench_compare: %s: snapshot lacks numeric \"%s\"\n",
+                   path.c_str(), field);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Validates `v` against the schema its own "bench" field names.
+bool ValidateAny(const std::string& path, const json::Value& v) {
+  const std::string bench =
+      v.is_object() ? v.StringOr("bench", "") : "";
+  if (bench == "disco_graphbench") return ValidateGraph(path, v);
+  if (bench == "disco_serve") return ValidateServe(path, v);
+  std::fprintf(stderr,
+               "bench_compare: %s: unknown \"bench\" schema \"%s\"\n",
+               path.c_str(), bench.c_str());
+  return false;
+}
+
+const json::Value* FindGenerator(const json::Value& doc,
+                                 const std::string& name) {
+  const json::Value* gens = doc.Find("generators");
+  if (gens == nullptr) return nullptr;
+  for (const json::Value& g : gens->Items()) {
+    if (g.StringOr("name", "") == name) return &g;
+  }
+  return nullptr;
+}
+
+int CompareGraph(const json::Value& current, const json::Value& baseline,
+                 double min_ratio, double min_mmap_speedup) {
+  std::printf("%-12s %14s %14s %8s  %s\n", "metric", "baseline",
+              "current", "ratio", "verdict");
+  int regressions = 0;
+  const auto row = [&](const std::string& name, double base, double cur,
+                       bool ok) {
+    if (!ok) ++regressions;
+    std::printf("%-12s %14.0f %14.0f %8.2f  %s\n", name.c_str(), base,
+                cur, base > 0 ? cur / base : 1.0,
+                ok ? "ok" : "REGRESSION");
+  };
+  for (const json::Value& base : baseline.Find("generators")->Items()) {
+    const std::string name = base.StringOr("name", "?");
+    const json::Value* cur = FindGenerator(current, name);
+    if (cur == nullptr) {
+      std::printf("%-12s missing from current run: REGRESSION\n",
+                  name.c_str());
+      ++regressions;
+      continue;
+    }
+    const double b = base.NumberOr("edges_per_s", 0);
+    const double c = cur->NumberOr("edges_per_s", 0);
+    row("gen:" + name, b, c, b <= 0 || c / b >= min_ratio);
+  }
+  const json::Value* bsnap = baseline.Find("snapshot");
+  const json::Value* csnap = current.Find("snapshot");
+  for (const char* field : {"encode_mb_s", "decode_mb_s"}) {
+    const double b = bsnap->NumberOr(field, 0);
+    const double c = csnap->NumberOr(field, 0);
+    row(field, b, c, b <= 0 || c / b >= min_ratio);
+  }
+  // The out-of-core claim is absolute, not relative to the baseline
+  // machine: loading the snapshot must beat regenerating the graph.
+  const double speedup = csnap->NumberOr("mmap_speedup", 0);
+  const bool speedup_ok = speedup >= min_mmap_speedup;
+  if (!speedup_ok) ++regressions;
+  std::printf("%-12s %14.2f %14.2f %8s  %s\n", "mmap_speedup",
+              bsnap->NumberOr("mmap_speedup", 0), speedup, "-",
+              speedup_ok ? "ok" : "REGRESSION");
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "bench_compare: %d graph metric(s) regressed past the "
+                 "tolerance (min ratio %.2f, min mmap speedup %.2f)\n",
+                 regressions, min_ratio, min_mmap_speedup);
+    return 1;
+  }
+  std::printf("all graph metrics within tolerance (min ratio %.2f, min "
+              "mmap speedup %.2f)\n",
+              min_ratio, min_mmap_speedup);
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   double min_qps_ratio = 0.25;
   double max_p99_ratio = 4.0;
+  double min_mmap_speedup = 1.0;
   bool check_only = false;
   std::string files[2];
   int nfiles = 0;
@@ -133,6 +266,15 @@ int Main(int argc, char** argv) {
       }
       continue;
     }
+    if (const char* v = ratio_of("--min-mmap-speedup=")) {
+      char* end = nullptr;
+      min_mmap_speedup = std::strtod(v, &end);
+      if (end == v || *end != '\0' || min_mmap_speedup < 0) {
+        std::fprintf(stderr, "bench_compare: bad ratio \"%s\"\n", v);
+        return 2;
+      }
+      continue;
+    }
     if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "bench_compare: unknown flag %s\n%s",
                    arg.c_str(), kUsage);
@@ -151,11 +293,15 @@ int Main(int argc, char** argv) {
       return 2;
     }
     json::Value doc;
-    if (!LoadJson(files[0], &doc) || !ValidateServe(files[0], doc)) {
+    if (!LoadJson(files[0], &doc) || !ValidateAny(files[0], doc)) {
       return 1;
     }
-    std::printf("%s: ok (%zu schemes)\n", files[0].c_str(),
-                doc.Find("schemes")->Items().size());
+    const json::Value* entries = doc.Find(
+        doc.StringOr("bench", "") == "disco_graphbench" ? "generators"
+                                                        : "schemes");
+    std::printf("%s: ok (%s, %zu entries)\n", files[0].c_str(),
+                doc.StringOr("bench", "?").c_str(),
+                entries->Items().size());
     return 0;
   }
 
@@ -164,10 +310,23 @@ int Main(int argc, char** argv) {
     return 2;
   }
   json::Value current, baseline;
-  if (!LoadJson(files[0], &current) || !ValidateServe(files[0], current) ||
+  if (!LoadJson(files[0], &current) || !ValidateAny(files[0], current) ||
       !LoadJson(files[1], &baseline) ||
-      !ValidateServe(files[1], baseline)) {
+      !ValidateAny(files[1], baseline)) {
     return 1;
+  }
+  if (current.StringOr("bench", "") != baseline.StringOr("bench", "")) {
+    std::fprintf(stderr,
+                 "bench_compare: schema mismatch: %s is \"%s\" but %s is "
+                 "\"%s\"\n",
+                 files[0].c_str(), current.StringOr("bench", "?").c_str(),
+                 files[1].c_str(),
+                 baseline.StringOr("bench", "?").c_str());
+    return 1;
+  }
+  if (current.StringOr("bench", "") == "disco_graphbench") {
+    return CompareGraph(current, baseline, min_qps_ratio,
+                        min_mmap_speedup);
   }
 
   std::printf("%-10s %12s %12s %8s %12s %12s %8s  %s\n", "scheme",

@@ -67,30 +67,14 @@ struct StoreArgs {
   std::uint64_t max_bytes = 0;
 };
 
-store::ArtifactKey GraphSnapshotKey(const std::string& graph_fp) {
-  store::ArtifactKey key;
-  key.kind = "graph";
-  key.graph = graph_fp;
-  key.scope = "snapshot";
-  key.version = 1;
-  return key;
-}
-
 Graph MakeTopology(const StoreArgs& sargs, const Args& args) {
   if (!sargs.graph_file.empty()) {
     // A 64-hex name is a graph fingerprint: resolve the snapshot
-    // artifact an earlier build published instead of reading a file.
-    if (sargs.graph_file.size() == 64 &&
-        sargs.graph_file.find_first_not_of("0123456789abcdef") ==
-            std::string::npos) {
-      const auto reader =
-          store::ProcessStore()->Open(GraphSnapshotKey(sargs.graph_file));
-      if (reader != nullptr && reader->frame_count() >= 1) {
-        const auto view = reader->frame(0);
-        if (auto g = LoadGraphSnapshotBytes(std::string(
-                reinterpret_cast<const char*>(view.data()), view.size()))) {
-          return std::move(*g);
-        }
+    // artifact an earlier build published instead of reading a file
+    // (v2 artifacts come back as a zero-copy view over the store mmap).
+    if (IsGraphFingerprint(sargs.graph_file)) {
+      if (auto g = LoadStoredGraph(sargs.graph_file)) {
+        return std::move(*g);
       }
       std::fprintf(stderr,
                    "no graph snapshot artifact for fingerprint %s in this "

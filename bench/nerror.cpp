@@ -100,7 +100,7 @@ int Main(int argc, char** argv) {
   }
 
   // Context: what synopsis diffusion actually delivers (§4.1).
-  const auto estimates = GossipEstimates(g.AdjacencyLists(), 32);
+  const auto estimates = GossipEstimates(g, 32);
   double max_err = 0;
   for (const double e : estimates) {
     max_err = std::max(max_err,

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/components.h"
+#include "graph/io.h"
 #include "runtime/parallel_for.h"
 #include "runtime/rng_stream.h"
 #include "util/rng.h"
@@ -24,6 +25,13 @@ std::uint64_t EdgeKey(NodeId a, NodeId b) {
 // streams (runtime::TaskRng) and chunk-major result concatenation make the
 // generated graph bit-identical however many threads ran.
 constexpr std::size_t kGenGrain = 8192;
+
+// Every generator streams its edges straight into a GraphBuilder (which
+// lays the CSR out in place) instead of materializing a WeightedEdge list
+// and copying it through FromEdges — at a million nodes the discarded
+// intermediate was as large as the graph itself. Emission order is
+// unchanged, so EdgeIds and fingerprints are too.
+void CountGenerated() { ++GraphLoadCounters().generated; }
 
 }  // namespace
 
@@ -43,7 +51,9 @@ Graph Gnm(NodeId n, std::size_t m, std::uint64_t seed) {
   // small enough for one chunk — every unit-test topology — come out
   // bit-identical to the original sequential generator.
   const std::size_t num_chunks = (m + kGenGrain - 1) / kGenGrain;
-  std::vector<std::vector<WeightedEdge>> chunk_edges(num_chunks);
+  // Candidates are unweighted, so a chunk stores one packed (a, b) word
+  // per edge, orientation as drawn.
+  std::vector<std::vector<std::uint64_t>> chunk_edges(num_chunks);
   runtime::ParallelForTasks(num_chunks, [&](std::size_t c) {
     const std::size_t quota = std::min(kGenGrain, m - c * kGenGrain);
     Rng rng = c == 0 ? Rng(seed) : runtime::TaskRng(seed, c);
@@ -56,28 +66,30 @@ Graph Gnm(NodeId n, std::size_t m, std::uint64_t seed) {
       const NodeId b = static_cast<NodeId>(rng.NextBelow(n));
       if (a == b) continue;
       if (!used.insert(EdgeKey(a, b)).second) continue;
-      edges.push_back({a, b, 1.0});
+      edges.push_back((std::uint64_t{a} << 32) | b);
     }
   });
 
   std::unordered_set<std::uint64_t> used;
   used.reserve(m * 2);
-  std::vector<WeightedEdge> edges;
-  edges.reserve(m);
+  GraphBuilder gb(n, m);
   for (const auto& chunk : chunk_edges) {
-    for (const WeightedEdge& e : chunk) {
-      if (used.insert(EdgeKey(e.a, e.b)).second) edges.push_back(e);
+    for (const std::uint64_t packed : chunk) {
+      const NodeId a = static_cast<NodeId>(packed >> 32);
+      const NodeId b = static_cast<NodeId>(packed);
+      if (used.insert(EdgeKey(a, b)).second) gb.Add(a, b, 1.0);
     }
   }
   Rng top_up = runtime::TaskRng(seed, num_chunks);
-  while (edges.size() < m) {
+  while (gb.num_edges() < m) {
     const NodeId a = static_cast<NodeId>(top_up.NextBelow(n));
     const NodeId b = static_cast<NodeId>(top_up.NextBelow(n));
     if (a == b) continue;
     if (!used.insert(EdgeKey(a, b)).second) continue;
-    edges.push_back({a, b, 1.0});
+    gb.Add(a, b, 1.0);
   }
-  return Graph::FromEdges(n, edges);
+  CountGenerated();
+  return std::move(gb).Build();
 }
 
 Graph ConnectedGnm(NodeId n, std::size_t m, std::uint64_t seed) {
@@ -121,8 +133,9 @@ Graph RandomGeometric(NodeId n, double target_avg_degree,
   };
   for (NodeId v = 0; v < n; ++v) bucket[bucket_of(x[v], y[v])].push_back(v);
 
-  // Neighbor search (the hot loop): chunk-local edge lists concatenated in
-  // chunk order reproduce the sequential v-major edge order exactly.
+  // Neighbor search (the hot loop): chunk-local edge lists streamed into
+  // the builder in chunk order reproduce the sequential v-major edge
+  // order exactly.
   const std::size_t num_chunks = (n + kGenGrain - 1) / kGenGrain;
   std::vector<std::vector<WeightedEdge>> chunk_edges(num_chunks);
   const double r2 = r * r;
@@ -152,12 +165,10 @@ Graph RandomGeometric(NodeId n, double target_avg_degree,
       nullptr, kGenGrain);
   std::size_t total = 0;
   for (const auto& chunk : chunk_edges) total += chunk.size();
-  std::vector<WeightedEdge> edges;
-  edges.reserve(total);
-  for (const auto& chunk : chunk_edges) {
-    edges.insert(edges.end(), chunk.begin(), chunk.end());
-  }
-  return Graph::FromEdges(n, edges);
+  GraphBuilder gb(n, total);
+  for (const auto& chunk : chunk_edges) gb.Add(chunk);
+  CountGenerated();
+  return std::move(gb).Build();
 }
 
 Graph ConnectedGeometric(NodeId n, double target_avg_degree,
@@ -169,7 +180,7 @@ Graph BarabasiAlbert(NodeId n, int m_per_node, std::uint64_t seed) {
   assert(n >= 2);
   assert(m_per_node >= 1);
   Rng rng(seed);
-  std::vector<WeightedEdge> edges;
+  GraphBuilder gb(n, static_cast<std::size_t>(n) * m_per_node);
   // `targets` holds one entry per edge endpoint, so sampling uniformly from
   // it is sampling proportionally to degree.
   std::vector<NodeId> targets;
@@ -179,7 +190,7 @@ Graph BarabasiAlbert(NodeId n, int m_per_node, std::uint64_t seed) {
       std::min<NodeId>(n, static_cast<NodeId>(m_per_node) + 1);
   for (NodeId v = 1; v < seed_nodes; ++v) {  // small initial clique
     for (NodeId u = 0; u < v; ++u) {
-      edges.push_back({u, v, 1.0});
+      gb.Add(u, v, 1.0);
       targets.push_back(u);
       targets.push_back(v);
     }
@@ -198,12 +209,13 @@ Graph BarabasiAlbert(NodeId n, int m_per_node, std::uint64_t seed) {
     }
     std::sort(chosen.begin(), chosen.end());
     for (const NodeId u : chosen) {
-      edges.push_back({u, v, 1.0});
+      gb.Add(u, v, 1.0);
       targets.push_back(u);
       targets.push_back(v);
     }
   }
-  return Graph::FromEdges(n, edges);
+  CountGenerated();
+  return std::move(gb).Build();
 }
 
 Graph AsLevelInternet(NodeId n, std::uint64_t seed) {
@@ -235,19 +247,19 @@ Graph RouterLevelInternet(NodeId n, std::uint64_t seed) {
     next += pop_size[p];
   }
 
-  std::vector<WeightedEdge> edges;
+  GraphBuilder gb(n, 2 * static_cast<std::size_t>(n));
   // Intra-PoP: a ring plus a chord, giving redundancy without hub blowup.
   for (NodeId p = 0; p < num_pops; ++p) {
     const NodeId s = pop_start[p], sz = pop_size[p];
     if (sz == 1) continue;
     for (NodeId i = 0; i < sz; ++i) {
-      edges.push_back({s + i, s + (i + 1) % sz, 1.0});
+      gb.Add(s + i, s + (i + 1) % sz, 1.0);
     }
     if (sz >= 6) {
       for (NodeId i = 0; i < sz / 3; ++i) {
         const NodeId a = s + static_cast<NodeId>(rng.NextBelow(sz));
         const NodeId b = s + static_cast<NodeId>(rng.NextBelow(sz));
-        if (a != b) edges.push_back({a, b, 1.0});
+        if (a != b) gb.Add(a, b, 1.0);
       }
     }
   }
@@ -278,49 +290,56 @@ Graph RouterLevelInternet(NodeId n, std::uint64_t seed) {
     }
     std::sort(chosen.begin(), chosen.end());
     for (const NodeId q : chosen) {
-      edges.push_back({random_router(p), random_router(q), 1.0});
+      // Two rng draws: sequence them explicitly (function arguments are
+      // unsequenced; the historical brace-init emission drew p's router
+      // first, and the golden fingerprints pin that order).
+      const NodeId pr = random_router(p);
+      const NodeId qr = random_router(q);
+      gb.Add(pr, qr, 1.0);
       pop_targets.push_back(p);
       pop_targets.push_back(q);
     }
   }
-  return Graph::FromEdges(n, edges);
+  CountGenerated();
+  return std::move(gb).Build();
 }
 
 Graph Ring(NodeId n) {
   assert(n >= 3);
-  std::vector<WeightedEdge> edges;
-  edges.reserve(n);
-  for (NodeId v = 0; v < n; ++v) edges.push_back({v, (v + 1) % n, 1.0});
-  return Graph::FromEdges(n, edges);
+  GraphBuilder gb(n, n);
+  for (NodeId v = 0; v < n; ++v) gb.Add(v, (v + 1) % n, 1.0);
+  CountGenerated();
+  return std::move(gb).Build();
 }
 
 Graph Grid(NodeId rows, NodeId cols) {
   assert(rows >= 1 && cols >= 1);
-  std::vector<WeightedEdge> edges;
+  GraphBuilder gb(rows * cols, 2 * static_cast<std::size_t>(rows) * cols);
   auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
   for (NodeId r = 0; r < rows; ++r) {
     for (NodeId c = 0; c < cols; ++c) {
-      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1), 1.0});
-      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c), 1.0});
+      if (c + 1 < cols) gb.Add(id(r, c), id(r, c + 1), 1.0);
+      if (r + 1 < rows) gb.Add(id(r, c), id(r + 1, c), 1.0);
     }
   }
-  return Graph::FromEdges(rows * cols, edges);
+  CountGenerated();
+  return std::move(gb).Build();
 }
 
 Graph S4WorstCaseTree(NodeId branching) {
   assert(branching >= 1);
   const NodeId n = 1 + branching + branching * branching;
-  std::vector<WeightedEdge> edges;
-  edges.reserve(n - 1);
+  GraphBuilder gb(n, static_cast<std::size_t>(n) - 1);
   // Node 0 is the root; children are 1..branching; grandchildren follow.
-  for (NodeId c = 1; c <= branching; ++c) edges.push_back({0, c, 1.0});
+  for (NodeId c = 1; c <= branching; ++c) gb.Add(0, c, 1.0);
   NodeId next = branching + 1;
   for (NodeId c = 1; c <= branching; ++c) {
     for (NodeId i = 0; i < branching; ++i) {
-      edges.push_back({c, next++, 2.0});
+      gb.Add(c, next++, 2.0);
     }
   }
-  return Graph::FromEdges(n, edges);
+  CountGenerated();
+  return std::move(gb).Build();
 }
 
 }  // namespace disco

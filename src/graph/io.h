@@ -10,12 +10,39 @@
 // (src/store/) uses: edge order and float weights survive bit-exactly, so
 // a reloaded graph is indistinguishable from the generated original —
 // same CSR, same EdgeIds, same fingerprint.
+//
+// Snapshot format v2 ("DGSNv02\n") is the packed CSR layout, written so a
+// mapped file can back a Graph with zero copies (Graph::FromSections):
+//
+//   page 0 (4096 B): magic[8], endian tag[4] (the bytes of uint32
+//     0x01020304 in the writer's native order — a reader whose order
+//     differs rejects the file instead of silently mis-decoding),
+//     n (u32 LE), m (u64 LE), total size (u64 LE), then 5 section entries
+//     {offset u64 LE, length u64 LE, sha256[32]}, then the SHA-256 of the
+//     header bytes before it; zero padding to the page boundary.
+//   sections, each starting on a 4096-byte boundary, zero-padded:
+//     offsets  u64[n+1]   CSR row starts
+//     arc_to   u32[2m]    neighbor per arc
+//     arc_edge u32[2m]    edge id per arc
+//     ends     u32[2m]    (a, b) per edge, construction order
+//     weights  f64[m]     one weight per edge
+//
+// Loading verifies the header and every section checksum, then validates
+// the CSR invariants (monotone offsets, in-range node/edge ids, positive
+// weights), so a borrowed Graph can trust the arrays outright. v1
+// snapshots ("DGSNv01\n", the edge-list form) still load — decoded
+// through the regular builder — so stores populated before the v2 bump
+// keep working.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "graph/graph.h"
+#include "util/span.h"
 
 namespace disco {
 
@@ -29,18 +56,53 @@ bool SaveEdgeList(const Graph& g, const std::string& path);
 /// edge list, weights as IEEE-754 bit patterns. Stable across processes
 /// and thread counts; the artifact store keys every graph-derived object
 /// by it, so a one-bit topology change can never alias a cached artifact.
+/// (Unchanged by the v2 snapshot format: the fingerprint hashes the edge
+/// list, not the container.)
 std::string GraphFingerprintHex(const Graph& g);
 
-/// Lossless binary snapshot of g (node count + exact edge list). The
-/// bytes round-trip through LoadGraphSnapshotBytes to an identical graph.
+/// Lossless binary snapshot of g in format v2. The bytes round-trip
+/// through LoadGraphSnapshotBytes / ViewGraphSnapshot to an identical
+/// graph (same CSR, same EdgeIds, same fingerprint).
 std::string GraphSnapshotBytes(const Graph& g);
 
-/// Rebuilds a graph from GraphSnapshotBytes output; std::nullopt if the
-/// buffer is truncated, mislabeled, or fails its checksum.
+/// Rebuilds an owned graph from snapshot bytes (v2 or v1); std::nullopt
+/// if the buffer is truncated, mislabeled, foreign-endian, or fails a
+/// checksum. The bytes are copied — the caller's buffer may go away.
+std::optional<Graph> LoadGraphSnapshotBytes(Span<const char> bytes);
 std::optional<Graph> LoadGraphSnapshotBytes(const std::string& bytes);
 
-/// File convenience wrappers around the two above.
+/// Zero-copy load: validates `bytes` as a v2 snapshot and returns a
+/// borrowed Graph whose arrays point straight into it, with `backing`
+/// (e.g. an open store::ArtifactReader or an mmap) held alive for the
+/// graph's lifetime. Validation on this path is the header hash (which
+/// covers the section table) plus the structural CSR scan that bounds
+/// every index — the per-section SHA-256 pass is skipped so a view does
+/// not hash-fault the whole mapping in; use LoadGraphSnapshotBytes when
+/// full cryptographic verification is wanted. Falls back to a copying
+/// load when `bytes` is a v1 snapshot or is not 8-byte aligned;
+/// std::nullopt on any validation failure.
+std::optional<Graph> ViewGraphSnapshot(std::shared_ptr<const void> backing,
+                                       Span<const char> bytes);
+
+/// File convenience wrappers. SaveGraphSnapshot writes v2;
+/// LoadGraphSnapshot memory-maps a v2 file into a borrowed Graph (the
+/// page cache shares the physical pages across every process mapping the
+/// same file) and falls back to a copying read for v1 files or when mmap
+/// is unavailable.
 bool SaveGraphSnapshot(const Graph& g, const std::string& path);
 std::optional<Graph> LoadGraphSnapshot(const std::string& path);
+
+/// Process-wide graph provenance counters, mirroring store::Counters():
+/// how many graphs this process generated from scratch, loaded zero-copy
+/// from a mapped snapshot, and rebuilt by decoding snapshot bytes. The
+/// bench harness prints them to stderr at exit on --store= runs, which is
+/// how fig09 --xl's warm path proves it did zero generator work (the
+/// graph-tier analogue of the store smoke's dijkstra=0 check).
+struct GraphLoadStats {
+  std::atomic<std::uint64_t> generated{0};
+  std::atomic<std::uint64_t> mmap_loads{0};
+  std::atomic<std::uint64_t> decode_loads{0};
+};
+GraphLoadStats& GraphLoadCounters();
 
 }  // namespace disco

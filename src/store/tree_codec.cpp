@@ -42,7 +42,7 @@ std::string EncodeTree(const Graph& g, const ShortestPathTree& t) {
     // the identical float sum. Equality of finite nonnegative doubles is
     // bit equality here (negative zero cannot arise from positive
     // weights), which is what makes decode(encode(t)) == t byte-exact.
-    const Span<const Neighbor> arcs = g.neighbors(v);
+    const NeighborView arcs = g.neighbors(v);
     std::size_t iface = arcs.size();
     for (std::size_t i = 0; i < arcs.size(); ++i) {
       if (arcs[i].to == p && t.dist[p] + arcs[i].weight == t.dist[v]) {

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "graph/graph.h"
+
 namespace disco {
 namespace {
 
@@ -68,10 +70,9 @@ double Synopsis::Estimate() const {
   return std::pow(2.0, mean) / kFmPhi;
 }
 
-std::vector<double> GossipEstimates(
-    const std::vector<std::vector<std::uint32_t>>& adj, int rounds,
-    int num_bitmaps) {
-  const std::size_t n = adj.size();
+std::vector<double> GossipEstimates(const Graph& g, int rounds,
+                                    int num_bitmaps) {
+  const std::size_t n = g.num_nodes();
   std::vector<Synopsis> cur;
   cur.reserve(n);
   for (std::size_t v = 0; v < n; ++v) {
@@ -81,7 +82,10 @@ std::vector<double> GossipEstimates(
   for (int r = 0; r < rounds; ++r) {
     for (std::size_t v = 0; v < n; ++v) {
       next[v] = cur[v];
-      for (const std::uint32_t u : adj[v]) next[v].Merge(cur[u]);
+      for (const std::uint32_t u :
+           g.neighbor_ids(static_cast<NodeId>(v))) {
+        next[v].Merge(cur[u]);
+      }
     }
     std::swap(cur, next);
   }

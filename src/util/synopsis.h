@@ -18,6 +18,8 @@
 
 namespace disco {
 
+class Graph;
+
 class Synopsis {
  public:
   /// An empty synopsis (counts zero elements).
@@ -46,12 +48,12 @@ class Synopsis {
   std::vector<std::uint64_t> bitmaps_;
 };
 
-/// Simulates synchronous gossip of synopses over the adjacency structure
-/// `adj` for `rounds` rounds (each round every node merges all neighbors'
+/// Simulates synchronous gossip of synopses over g's adjacency for
+/// `rounds` rounds (each round every node merges all neighbors'
 /// previous-round synopses), then returns each node's estimate of n.
-/// After diameter-many rounds all estimates coincide.
-std::vector<double> GossipEstimates(
-    const std::vector<std::vector<std::uint32_t>>& adj, int rounds,
-    int num_bitmaps = 32);
+/// After diameter-many rounds all estimates coincide. Iterates the CSR
+/// neighbor spans in place — no adjacency-list materialization.
+std::vector<double> GossipEstimates(const Graph& g, int rounds,
+                                    int num_bitmaps = 32);
 
 }  // namespace disco

@@ -117,13 +117,13 @@ TEST(GraphSnapshot, BytesRoundTripIsLossless) {
   ASSERT_EQ(loaded->num_nodes(), g.num_nodes());
   ASSERT_EQ(loaded->num_edges(), g.num_edges());
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    EXPECT_EQ(loaded->edge(e).a, g.edge(e).a);
-    EXPECT_EQ(loaded->edge(e).b, g.edge(e).b);
+    const WeightedEdge le = loaded->edge(e);
+    const WeightedEdge ge = g.edge(e);
+    EXPECT_EQ(le.a, ge.a);
+    EXPECT_EQ(le.b, ge.b);
     // Bit equality, not approximate: snapshots must reproduce the graph
     // the fingerprint hashed.
-    EXPECT_EQ(std::memcmp(&loaded->edge(e).weight, &g.edge(e).weight,
-                          sizeof(Dist)),
-              0);
+    EXPECT_EQ(std::memcmp(&le.weight, &ge.weight, sizeof(Dist)), 0);
   }
   EXPECT_EQ(GraphFingerprintHex(*loaded), GraphFingerprintHex(g));
 }
@@ -136,7 +136,8 @@ TEST(GraphSnapshot, FileRoundTripAndCorruptionRejected) {
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(GraphFingerprintHex(*loaded), GraphFingerprintHex(g));
 
-  // One flipped byte in the edge region must fail the trailing checksum.
+  // One flipped byte in the header (section table) must fail the header
+  // checksum.
   {
     std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
     f.seekp(40);

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "graph/components.h"
+#include "graph/io.h"
 #include "graph/shortest_path.h"
 #include "runtime/thread_pool.h"
 
@@ -176,6 +177,80 @@ TEST(S4WorstCaseTree, ShapeMatchesFootnote6) {
   for (NodeId gc = b + 1; gc < g.num_nodes(); ++gc) {
     EXPECT_DOUBLE_EQ(t.dist[gc], 3.0);  // 1 (root-child) + 2 (child-gc)
   }
+}
+
+// Golden fingerprints captured from the edge-vector builds that predate
+// the streaming-CSR generator rewrite. Every generator family at every
+// interesting scale — single-chunk, multi-chunk (>8192 nodes/edges, so
+// the chunked RNG streams and the parallel CSR build really engage), the
+// connected variants, and the fixed topologies — must reproduce these
+// graphs bit for bit: same edge order, same weights, same everything the
+// fingerprint serializes.
+struct GoldenGraph {
+  const char* name;
+  std::function<Graph()> make;
+  NodeId n;
+  std::size_t m;
+  const char* fingerprint;
+};
+
+const std::vector<GoldenGraph>& Goldens() {
+  static const std::vector<GoldenGraph> rows = {
+      {"gnm_small", [] { return Gnm(100, 400, 1); }, 100, 400,
+       "b50f5056944ce7752a8366b2a2147ff309c0200e3efda1c7ad9372a29d6e35f4"},
+      {"gnm_multi", [] { return Gnm(20000, 40000, 3); }, 20000, 40000,
+       "781732040f6f0f73e91a9cf9a48e3649160990689cfd9e4039dd6c11e0933b69"},
+      {"geo_small", [] { return RandomGeometric(500, 8.0, 7); }, 500, 1879,
+       "e3db46f86f24fcf6fe76083dc55fac43d9693b650204e7aea31128b517204c4a"},
+      {"geo_multi", [] { return RandomGeometric(20000, 8.0, 3); }, 20000,
+       79231,
+       "9d7e2064e75d9cf06b4024ed57c4719ed413568dd5e9262386bf83ed04b60b09"},
+      {"ba_small", [] { return BarabasiAlbert(256, 3, 19); }, 256, 762,
+       "821228809a8a1730bfe980b9d4afe3fbc32edfda3436622fcb437d9636b1a9d3"},
+      {"ba_multi", [] { return BarabasiAlbert(20000, 2, 7); }, 20000, 39997,
+       "527e8bf55b5fffd41edddafd71fa8cb27199b5e8ea83869c0fa57d35d91836ed"},
+      {"router_small", [] { return RouterLevelInternet(256, 4); }, 256, 364,
+       "3a054310fad8f8d79b0dc72c2e74ea493ed2c6095c4405df2196d403ccd9eca4"},
+      {"router_multi", [] { return RouterLevelInternet(20000, 11); }, 20000,
+       28309,
+       "1903cb827ba98901fcf32b6e3808824ecf8d01628d8c5a05502069e894524bf8"},
+      {"cgnm_multi", [] { return ConnectedGnm(20000, 30000, 9); }, 18845,
+       29897,
+       "c759466ece0d267db9054bc756dba132ec295cd64515aeb61dbd5b69a5a445ec"},
+      {"cgeo_multi", [] { return ConnectedGeometric(20000, 8.0, 5); },
+       19964, 78852,
+       "968b3c0118326f29a33958fc053954e585142d4f857889dba6578eef5a795618"},
+      {"ring", [] { return Ring(16); }, 16, 16,
+       "88aa775ca7d8d2438204aebe7b29a44226e201ea7b5970694a68481e20dab371"},
+      {"grid", [] { return Grid(4, 5); }, 20, 31,
+       "2ce73f0d93769efafbd87f659f0de9e4dbe1b14d9f642528b7b44ea8406ac476"},
+      {"s4tree", [] { return S4WorstCaseTree(10); }, 111, 110,
+       "1711dbc78ffeaad0b1846e0e739c6d706bee8068adb1cec5dda7ce0fdc0912de"},
+  };
+  return rows;
+}
+
+TEST(GeneratorGoldens, FingerprintsMatchPreCsrBuilds) {
+  for (const GoldenGraph& row : Goldens()) {
+    const Graph g = row.make();
+    EXPECT_EQ(g.num_nodes(), row.n) << row.name;
+    EXPECT_EQ(g.num_edges(), row.m) << row.name;
+    EXPECT_EQ(GraphFingerprintHex(g), row.fingerprint) << row.name;
+  }
+}
+
+TEST(GeneratorGoldens, FingerprintsInvariantAcrossThreadCounts) {
+  // The same goldens under a 1-thread and a wide pool: neither the
+  // chunked generator fan-outs nor the parallel CSR build may let the
+  // schedule leak into the graph.
+  for (const int threads : {1, 8}) {
+    runtime::ThreadPool::ResetShared(threads);
+    for (const GoldenGraph& row : Goldens()) {
+      EXPECT_EQ(GraphFingerprintHex(row.make()), row.fingerprint)
+          << row.name << " with " << threads << " thread(s)";
+    }
+  }
+  runtime::ThreadPool::ResetShared(runtime::DefaultThreadCount());
 }
 
 class GeneratorConnectivitySweep

@@ -60,10 +60,9 @@ INSTANTIATE_TEST_SUITE_P(Sizes, SynopsisAccuracy,
 
 TEST(SynopsisGossip, ConvergesToUniformEstimate) {
   const Graph g = ConnectedGnm(256, 1024, 7);
-  const auto adj = g.AdjacencyLists();
   // After enough rounds (≥ diameter) every node holds the same union
   // synopsis, hence identical estimates.
-  const auto estimates = GossipEstimates(adj, 32);
+  const auto estimates = GossipEstimates(g, 32);
   for (std::size_t v = 1; v < estimates.size(); ++v) {
     ASSERT_DOUBLE_EQ(estimates[v], estimates[0]);
   }
@@ -75,14 +74,14 @@ TEST(SynopsisGossip, PartialGossipUndercounts) {
   // A ring has diameter n/2; after 3 rounds each node has seen only its
   // 3-hop neighborhood, so estimates must be far below n.
   const Graph g = Ring(512);
-  const auto estimates = GossipEstimates(g.AdjacencyLists(), 3);
+  const auto estimates = GossipEstimates(g, 3);
   for (const double e : estimates) EXPECT_LT(e, 64.0);
 }
 
 TEST(SynopsisGossip, EstimatesImproveWithRounds) {
   const Graph g = Ring(64);
-  const auto early = GossipEstimates(g.AdjacencyLists(), 2);
-  const auto late = GossipEstimates(g.AdjacencyLists(), 32);  // full cover
+  const auto early = GossipEstimates(g, 2);
+  const auto late = GossipEstimates(g, 32);  // full cover
   EXPECT_LT(early[0], late[0]);
   EXPECT_GT(late[0], 32.0);
   EXPECT_LT(late[0], 128.0);
