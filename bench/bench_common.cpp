@@ -10,6 +10,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "exec/net_daemon.h"
 #include "exec/wire.h"
 #include "graph/generators.h"
 #include "graph/io.h"
@@ -45,9 +46,13 @@ std::string JoinNames(const std::vector<std::string>& names) {
       "                   else hardware concurrency)\n"
       "  --backend=<b>    execution backend for multi-task fan-outs\n"
       "                   (disco_sweep, fig04/05, fig09): threads\n"
-      "                   (default, in-process) or procs (worker pool)\n"
+      "                   (default, in-process), procs (worker pool), or\n"
+      "                   net (disco_workerd daemons; needs --hosts=)\n"
       "  --workers=<int>  worker subprocesses for --backend=procs\n"
       "                   (default: one per hardware thread)\n"
+      "  --hosts=<a,b>    comma-separated host:port disco_workerd\n"
+      "                   endpoints for --backend=net (one worker slot\n"
+      "                   per entry; repeat an entry for more slots)\n"
       "  --store=<dir>    artifact store with prebuilt landmark trees\n"
       "                   (prebuild with disco_store; wall-clock only)\n"
       "  --worker=<job>   internal: serve one executor job as a worker\n"
@@ -149,9 +154,28 @@ Args Args::Parse(int argc, char** argv, const char* extra_usage,
       a.threads = static_cast<int>(t);
     } else if (const char* v = value_of("--backend=")) {
       if (!exec::ParseBackend(v, &a.backend)) {
-        std::fprintf(stderr, "--backend must be \"threads\" or \"procs\", "
-                             "got \"%s\"\n", v);
+        std::fprintf(stderr, "--backend must be \"threads\", \"procs\" or "
+                             "\"net\", got \"%s\"\n", v);
         PrintUsageAndExit(argv[0], extra_usage, 2);
+      }
+    } else if (const char* v = value_of("--hosts=")) {
+      a.hosts.clear();
+      std::string spec;
+      for (const char* p = v;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          std::string host;
+          int port = 0;
+          if (!exec::ParseHostPort(spec, &host, &port)) {
+            std::fprintf(stderr, "--hosts entry \"%s\" is not host:port\n",
+                         spec.c_str());
+            PrintUsageAndExit(argv[0], extra_usage, 2);
+          }
+          a.hosts.push_back(spec);
+          spec.clear();
+          if (*p == '\0') break;
+        } else {
+          spec.push_back(*p);
+        }
       }
     } else if (const char* v = value_of("--workers=")) {
       char* end = nullptr;
@@ -223,7 +247,15 @@ Args Args::Parse(int argc, char** argv, const char* extra_usage,
   if (a.threads > 0) {
     runtime::ThreadPool::ResetShared(static_cast<std::size_t>(a.threads));
   }
-  if (!a.store.empty() && a.backend == exec::Backend::kProcs) {
+  if (a.backend == exec::Backend::kNet && a.hosts.empty() &&
+      !exec::InWorkerMode()) {
+    std::fprintf(stderr, "--backend=net needs --hosts=host:port,...\n");
+    PrintUsageAndExit(argv[0], extra_usage, 2);
+  }
+  // Store/graph counters are process-local; any backend that farms work
+  // out to other processes (local workers or remote daemons) leaves the
+  // driver's numbers covering only itself.
+  if (!a.store.empty() && a.backend != exec::Backend::kThreads) {
     g_store_run_uses_procs = true;
   }
   return a;
@@ -233,6 +265,7 @@ exec::ExecOptions Args::MakeExecOptions(runtime::ThreadPool* pool) const {
   exec::ExecOptions opts;
   opts.backend = backend;
   opts.workers = workers;
+  opts.hosts = hosts;
   opts.worker_argv = raw_argv;
   opts.pool = pool;
   return opts;

@@ -21,9 +21,13 @@
 //   --out=<dir>      directory for TSV output (default: working directory)
 //   --threads=<k>    thread-pool width (default: DISCO_THREADS env, else
 //                    hardware concurrency)
-//   --backend=<b>    execution backend: threads (in-process, default) or
-//                    procs (worker subprocesses; see src/exec/)
+//   --backend=<b>    execution backend: threads (in-process, default),
+//                    procs (worker subprocesses), or net (disco_workerd
+//                    daemons over TCP; see src/exec/)
 //   --workers=<k>    subprocess count for --backend=procs
+//   --hosts=<a,b>    comma-separated host:port daemon endpoints for
+//                    --backend=net (one worker slot per entry; repeat an
+//                    endpoint for more slots on that host)
 //   --store=<dir>    artifact store with prebuilt landmark trees
 //                    (src/store/; prebuild with disco_store). Wall-clock
 //                    only: output stays byte-identical to a storeless
@@ -70,6 +74,9 @@ struct Args {
   exec::Backend backend = exec::Backend::kThreads;
   /// Worker subprocess count for the procs backend (--workers=, 0 = auto).
   std::size_t workers = 0;
+  /// disco_workerd endpoints ("host:port") for the net backend (--hosts=,
+  /// comma-separated; one worker slot per entry).
+  std::vector<std::string> hosts;
   /// Artifact store directory (--store=); "" = no store. Parse opens it
   /// as the process store, so every LandmarkTreeCache built afterwards —
   /// including in procs-backend workers, which re-parse this argv — loads

@@ -33,5 +33,6 @@ namespace disco::exec {
 
 std::unique_ptr<Executor> MakeProcessExecutor(const ExecOptions& opts);
 std::unique_ptr<Executor> MakeWorkerServer(const ExecOptions& opts);
+std::unique_ptr<Executor> MakeNetExecutor(const ExecOptions& opts);
 
 }  // namespace disco::exec

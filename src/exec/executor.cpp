@@ -5,6 +5,8 @@
 // pure function of how many Run calls happened, not of thread timing.
 
 #include <atomic>
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <mutex>
 
@@ -25,8 +27,15 @@ int EnvInt(const char* name, int def) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return def;
   char* end = nullptr;
+  errno = 0;  // clamp-check like Args::Parse: ERANGE and > INT_MAX values
+              // fall back to the default instead of silently truncating
+              // through the cast (DISCO_EXEC_RETRIES=99999999999 must not
+              // become some arbitrary wrapped retry budget)
   const long parsed = std::strtol(v, &end, 10);
-  if (end == v || *end != '\0' || parsed < 0) return def;
+  if (end == v || *end != '\0' || errno == ERANGE || parsed < 0 ||
+      parsed > INT_MAX) {
+    return def;
+  }
   return static_cast<int>(parsed);
 }
 
@@ -98,6 +107,10 @@ bool ParseBackend(const std::string& name, Backend* out) {
     *out = Backend::kProcs;
     return true;
   }
+  if (name == "net") {
+    *out = Backend::kNet;
+    return true;
+  }
   return false;
 }
 
@@ -120,6 +133,18 @@ int EffectiveStragglerMs(int field) {
   return field >= 0 ? field : EnvInt("DISCO_EXEC_STRAGGLER_MS", 0);
 }
 
+int EffectiveNetBackoffMs() {
+  return EnvInt("DISCO_EXEC_NET_BACKOFF_MS", 50);
+}
+
+int EffectiveNetBackoffMaxMs() {
+  return EnvInt("DISCO_EXEC_NET_BACKOFF_MAX_MS", 2000);
+}
+
+int EffectiveNetReconnects() {
+  return EnvInt("DISCO_EXEC_NET_RECONNECTS", 5);
+}
+
 void ResetJobNumberingForTest() {
   g_next_job.store(0, std::memory_order_relaxed);
   g_worker_mode = false;
@@ -132,6 +157,7 @@ std::unique_ptr<Executor> MakeExecutor(const ExecOptions& opts) {
   // parent's argv, echoed back at us.
   if (g_worker_mode) return MakeWorkerServer(opts);
   if (opts.backend == Backend::kProcs) return MakeProcessExecutor(opts);
+  if (opts.backend == Backend::kNet) return MakeNetExecutor(opts);
   return std::make_unique<ThreadExecutor>(opts);
 }
 

@@ -9,12 +9,21 @@
 //
 //   kThreads  in-process, over the runtime ThreadPool (parallel_for.h).
 //   kProcs    a process pool: the current binary is re-invoked with
-//             --worker=<job> appended to its own argv, task indices are
+//             --worker=<job> appended to its own argv, task frames are
 //             streamed to workers over pipes, and result frames stream
 //             back. Failed tasks are retried on surviving workers (a
 //             SIGKILLed worker's in-flight task is rescheduled), and
 //             tasks still running past a deadline are speculatively
 //             re-dispatched to idle workers — first result wins.
+//   kNet      a TCP cluster: the driver (coordinator) connects to
+//             disco_workerd daemons named by ExecOptions::hosts, asks
+//             each to spawn the same --worker=<job> re-invocation the
+//             procs backend forks locally, and streams the same frames
+//             over the sockets. A lost connection charges the in-flight
+//             task and is retried elsewhere while the coordinator
+//             reconnects with bounded exponential backoff; retry budgets
+//             and straggler duplication are the shared TaskScheduler's
+//             (task_scheduler.h), identical to kProcs.
 //
 // The worker contract: a worker process parses the same argv as its
 // parent, follows the same code path, and therefore reaches the same
@@ -31,13 +40,30 @@
 // construction, which is how paper-scale sweeps avoid per-worker
 // Dijkstra storms.
 //
-// Worker wire protocol (see process_executor.cpp):
-//   parent -> worker (stdin):  "T <index>\n"  run task <index>
-//                              EOF            exit cleanly
-//   worker -> parent (fd 3):   "R <index> <len>\n" + <len> payload bytes
-//                              "E <index> <len>\n" + <len> error message
+// Worker wire protocol — one versioned binary framing (exec/wire.h,
+// magic "DWX1": 4-byte magic, 1-byte type, u64 index, u64 length,
+// payload) for every transport. It replaced the original "T/R/E"
+// text-line protocol: text parsing meant a malformed request was echoed
+// back through strtoull garbage and charged to whatever task the bytes
+// happened to name.
+//   driver -> worker (stdin / TCP):  kTask('T') index        run a task
+//                                    EOF / close             exit cleanly
+//   worker -> driver (fd 3 / TCP):   kResult('R') index + payload bytes
+//                                    kTaskError('E') index + message —
+//                                      charges one retry to that task
+//                                    kProtocolError('B') + message — the
+//                                      request stream itself was bad;
+//                                      attributable to no task, it fails
+//                                      the whole run
+//   coordinator <-> daemon only:     kHello('H') index=protocol version,
+//                                      daemon -> coordinator on accept
+//                                    kSpawn('S') + argv/env payload,
+//                                      coordinator -> daemon: fork/exec
+//                                      the worker behind this connection
 // Worker stdout is redirected to /dev/null (stray prints can't corrupt
-// the frame stream); stderr is inherited for diagnostics.
+// the frame stream); stderr is inherited for diagnostics. Under kNet the
+// daemon relays worker frames to the coordinator byte-for-byte — the
+// shared framing is what makes the daemon a pure byte pump.
 //
 // Env knobs (read when the matching ExecOptions field is left at -1):
 //   DISCO_EXEC_RETRIES       re-runs allowed per task after its first
@@ -45,6 +71,17 @@
 //   DISCO_EXEC_STRAGGLER_MS  deadline after which a running task is
 //                            speculatively duplicated onto an idle
 //                            worker (default 0 = disabled)
+// Net-backend knobs (always env; no ExecOptions field):
+//   DISCO_EXEC_NET_BACKOFF_MS      first reconnect delay after a lost
+//                                  daemon connection (default 50)
+//   DISCO_EXEC_NET_BACKOFF_MAX_MS  backoff ceiling; delays double up to
+//                                  this bound (default 2000)
+//   DISCO_EXEC_NET_RECONNECTS      consecutive failed (re)connect
+//                                  attempts per daemon before that slot
+//                                  is abandoned (default 5)
+// All knobs are clamp-checked like Args::Parse numerics: garbage or
+// out-of-int-range values fall back to the default instead of silently
+// truncating.
 #pragma once
 
 #include <cstddef>
@@ -61,9 +98,9 @@ namespace disco::exec {
 /// backend evaluates it in a different process, possibly more than once.
 using TaskFn = std::function<std::string(std::size_t)>;
 
-enum class Backend { kThreads, kProcs };
+enum class Backend { kThreads, kProcs, kNet };
 
-/// Parses "threads" / "procs"; returns false for anything else.
+/// Parses "threads" / "procs" / "net"; returns false for anything else.
 bool ParseBackend(const std::string& name, Backend* out);
 
 struct ExecOptions {
@@ -80,7 +117,12 @@ struct ExecOptions {
   int straggler_ms = -1;
   /// The command the process backend re-invokes for workers — normally
   /// this process's own argv, verbatim. "--worker=<job>" is appended.
+  /// The net backend ships the same command to each daemon, which execs
+  /// it on its own host (the binary must exist there at the same path).
   std::vector<std::string> worker_argv;
+  /// Net backend: "host:port" daemon endpoints, one worker slot per
+  /// entry (repeat an endpoint for more slots on that host).
+  std::vector<std::string> hosts;
   /// Thread backend: bounds task-level concurrency (e.g. a ThreadPool(1)
   /// serializes whole tasks while their inner fan-outs still use the
   /// shared pool). nullptr = the shared pool.
@@ -125,6 +167,11 @@ std::string WorkerFlag(std::size_t job);
 /// Effective knob values (field if >= 0, else env, else default).
 int EffectiveMaxRetries(int field);
 int EffectiveStragglerMs(int field);
+
+/// Net-backend reconnect knobs (env only; see the header comment).
+int EffectiveNetBackoffMs();
+int EffectiveNetBackoffMaxMs();
+int EffectiveNetReconnects();
 
 /// Resets the process-wide Run-call counter (and worker mode). Tests only:
 /// lets a test harness that issues Run calls in a nondeterministic order

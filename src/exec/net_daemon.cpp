@@ -1,0 +1,360 @@
+#include "exec/net_daemon.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "exec/wire.h"
+
+extern char** environ;
+
+namespace disco::exec {
+namespace {
+
+constexpr int kResultFd = 3;  // worker-side frame stream, by convention
+
+bool WriteAllFd(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// One coordinator connection = one worker slot.
+struct Session {
+  int tcp_fd = -1;
+  FrameBuffer frames;   // parsed only until the kSpawn frame arrives
+  bool spawned = false;
+  pid_t child = -1;
+  int child_in = -1;   // worker stdin (task frames)
+  int child_out = -1;  // worker fd 3 (result frames)
+};
+
+void Teardown(Session* s) {
+  if (s->child_in >= 0) ::close(s->child_in);
+  if (s->child_out >= 0) ::close(s->child_out);
+  s->child_in = s->child_out = -1;
+  if (s->child > 0) {
+    // The worker may be mid-task (a stale straggler duplicate, or its
+    // coordinator gave up); tasks are pure, so killing loses nothing.
+    ::kill(s->child, SIGKILL);
+    int status = 0;
+    ::waitpid(s->child, &status, 0);
+    s->child = -1;
+  }
+  if (s->tcp_fd >= 0) ::close(s->tcp_fd);
+  s->tcp_fd = -1;
+}
+
+// Forks and execs the worker the coordinator asked for, with the same fd
+// plumbing ProcessExecutor::Spawn sets up locally: stdin = task frames
+// (from the daemon's relay), stdout = /dev/null, fd 3 = result frames.
+// `env` entries ("K=V") override the daemon's own environment.
+bool SpawnWorker(const std::vector<std::string>& argv_in,
+                 const std::vector<std::string>& env_in, Session* s,
+                 std::string* error) {
+  std::vector<std::string> argv_strings = argv_in;
+  std::vector<char*> argv;
+  argv.reserve(argv_strings.size() + 1);
+  for (std::string& a : argv_strings) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  std::vector<std::string> env_strings = env_in;
+  std::vector<char*> envp;
+  for (char** e = environ; *e != nullptr; ++e) {
+    const char* eq = std::strchr(*e, '=');
+    const std::size_t key_len =
+        eq != nullptr ? static_cast<std::size_t>(eq - *e) : std::strlen(*e);
+    bool overridden = false;
+    for (const std::string& o : env_strings) {
+      if (o.compare(0, key_len, *e, key_len) == 0 &&
+          o.size() > key_len && o[key_len] == '=') {
+        overridden = true;
+        break;
+      }
+    }
+    if (!overridden) envp.push_back(*e);
+  }
+  for (std::string& o : env_strings) envp.push_back(o.data());
+  envp.push_back(nullptr);
+
+  int task_pipe[2], result_pipe[2];
+  if (::pipe2(task_pipe, O_CLOEXEC) != 0) {
+    *error = std::string("pipe2: ") + std::strerror(errno);
+    return false;
+  }
+  if (::pipe2(result_pipe, O_CLOEXEC) != 0) {
+    *error = std::string("pipe2: ") + std::strerror(errno);
+    ::close(task_pipe[0]);
+    ::close(task_pipe[1]);
+    return false;
+  }
+  const int devnull = ::open("/dev/null", O_WRONLY | O_CLOEXEC);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    *error = std::string("fork: ") + std::strerror(errno);
+    ::close(task_pipe[0]);
+    ::close(task_pipe[1]);
+    ::close(result_pipe[0]);
+    ::close(result_pipe[1]);
+    if (devnull >= 0) ::close(devnull);
+    return false;
+  }
+  if (pid == 0) {
+    // Child: async-signal-safe calls only until exec (see
+    // process_executor.cpp for the dup2/O_CLOEXEC subtlety).
+    const auto install = [](int from, int to) {
+      if (from == to) {
+        ::fcntl(to, F_SETFD, 0);
+      } else {
+        ::dup2(from, to);
+      }
+    };
+    install(task_pipe[0], 0);
+    if (devnull >= 0) install(devnull, 1);
+    install(result_pipe[1], kResultFd);
+    ::execvpe(argv[0], argv.data(), envp.data());
+    _exit(127);
+  }
+  ::close(task_pipe[0]);
+  ::close(result_pipe[1]);
+  if (devnull >= 0) ::close(devnull);
+
+  s->child = pid;
+  s->child_in = task_pipe[1];
+  s->child_out = result_pipe[0];
+  s->spawned = true;
+  return true;
+}
+
+// Pre-spawn frame handling: everything up to (and including) kSpawn is
+// parsed; bytes behind the spawn frame are relayed to the fresh worker.
+// Returns false when the session must be torn down.
+bool HandlePreSpawnBytes(Session* s) {
+  for (;;) {
+    Frame f;
+    std::string parse_error;
+    const FrameBuffer::Status st = s->frames.Next(&f, &parse_error);
+    if (st == FrameBuffer::Status::kNeedMore) return true;
+    if (st == FrameBuffer::Status::kMalformed) {
+      std::fprintf(stderr, "disco_workerd: malformed frame from "
+                           "coordinator: %s\n", parse_error.c_str());
+      return false;
+    }
+    if (f.type != static_cast<char>(FrameType::kSpawn)) {
+      std::fprintf(stderr, "disco_workerd: expected a spawn frame, got "
+                           "'%c'\n", f.type);
+      return false;
+    }
+    std::vector<std::string> argv, env;
+    if (!ParseSpawnPayload(f.payload, &argv, &env)) {
+      std::fprintf(stderr, "disco_workerd: unparseable spawn payload\n");
+      return false;
+    }
+    std::string error;
+    if (!SpawnWorker(argv, env, s, &error)) {
+      std::fprintf(stderr, "disco_workerd: cannot spawn worker: %s\n",
+                   error.c_str());
+      return false;
+    }
+    const std::string rest = s->frames.TakeBuffered();
+    if (!rest.empty() &&
+        !WriteAllFd(s->child_in, rest.data(), rest.size())) {
+      return false;
+    }
+    return true;
+  }
+}
+
+}  // namespace
+
+bool ParseHostPort(const std::string& spec, std::string* host, int* port,
+                   bool allow_port_zero) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    return false;
+  }
+  const std::string port_str = spec.substr(colon + 1);
+  char* end = nullptr;
+  errno = 0;
+  const long p = std::strtol(port_str.c_str(), &end, 10);
+  if (end == port_str.c_str() || *end != '\0' || errno == ERANGE ||
+      p < (allow_port_zero ? 0 : 1) || p > 65535) {
+    return false;
+  }
+  *host = spec.substr(0, colon);
+  *port = static_cast<int>(p);
+  return true;
+}
+
+int RunWorkerDaemon(const DaemonOptions& opts) {
+  // A coordinator that vanishes mid-write must surface as EPIPE on the
+  // relay path, not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(opts.port);
+  const int gai = ::getaddrinfo(opts.host.c_str(), port_str.c_str(),
+                                &hints, &res);
+  if (gai != 0) {
+    std::fprintf(stderr, "disco_workerd: cannot resolve %s:%d: %s\n",
+                 opts.host.c_str(), opts.port, ::gai_strerror(gai));
+    return 1;
+  }
+  int listen_fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    listen_fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                         ai->ai_protocol);
+    if (listen_fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(listen_fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(listen_fd);
+    listen_fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (listen_fd < 0 || ::listen(listen_fd, 16) != 0) {
+    std::fprintf(stderr, "disco_workerd: cannot listen on %s:%d: %s\n",
+                 opts.host.c_str(), opts.port, std::strerror(errno));
+    if (listen_fd >= 0) ::close(listen_fd);
+    return 1;
+  }
+
+  // Report the actual port (the kernel picks one for --listen=host:0);
+  // launchers parse this line.
+  sockaddr_storage bound{};
+  socklen_t bound_len = sizeof bound;
+  int actual_port = opts.port;
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    if (bound.ss_family == AF_INET) {
+      actual_port = static_cast<int>(
+          ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port));
+    } else if (bound.ss_family == AF_INET6) {
+      actual_port = static_cast<int>(
+          ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port));
+    }
+  }
+  std::printf("disco_workerd listening on %s:%d\n", opts.host.c_str(),
+              actual_port);
+  std::fflush(stdout);
+
+  std::vector<Session> sessions;
+  for (;;) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd, POLLIN, 0});
+    // fds[1 + 2k] is session k's TCP side, fds[1 + 2k + 1] its worker
+    // output (negative fd entries are ignored by poll).
+    for (Session& s : sessions) {
+      fds.push_back({s.tcp_fd, POLLIN, 0});
+      fds.push_back({s.spawned ? s.child_out : -1, POLLIN, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "disco_workerd: poll: %s\n",
+                   std::strerror(errno));
+      ::close(listen_fd);
+      return 1;
+    }
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int conn = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+      if (conn >= 0) {
+        Session s;
+        s.tcp_fd = conn;
+        const std::string hello =
+            EncodeFrame(static_cast<char>(FrameType::kHello),
+                        kWireProtocolVersion, "disco_workerd");
+        if (WriteAllFd(conn, hello.data(), hello.size())) {
+          sessions.push_back(std::move(s));
+        } else {
+          ::close(conn);
+        }
+      }
+    }
+
+    // Only the sessions that existed when `fds` was built have poll
+    // entries — a connection accepted above joins next round.
+    const std::size_t polled = (fds.size() - 1) / 2;
+    for (std::size_t k = 0; k < polled; ++k) {
+      Session& s = sessions[k];
+      bool dead = false;
+      const short tcp_ev = fds[1 + 2 * k].revents;
+      const short child_ev = fds[1 + 2 * k + 1].revents;
+
+      if ((tcp_ev & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        char chunk[65536];
+        const ssize_t n = ::read(s.tcp_fd, chunk, sizeof chunk);
+        if (n > 0) {
+          if (s.spawned) {
+            // Relay verbatim: these are task frames for the worker.
+            if (!WriteAllFd(s.child_in, chunk,
+                            static_cast<std::size_t>(n))) {
+              dead = true;  // worker gone; close so the coordinator retries
+            }
+          } else {
+            s.frames.Append(chunk, static_cast<std::size_t>(n));
+            if (!HandlePreSpawnBytes(&s)) dead = true;
+          }
+        } else if (n == 0 || errno != EINTR) {
+          dead = true;  // coordinator closed or connection reset
+        }
+      }
+
+      if (!dead && s.spawned &&
+          (child_ev & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        char chunk[65536];
+        const ssize_t n = ::read(s.child_out, chunk, sizeof chunk);
+        if (n > 0) {
+          // Relay verbatim: result frames for the coordinator.
+          if (!WriteAllFd(s.tcp_fd, chunk, static_cast<std::size_t>(n))) {
+            dead = true;
+          }
+        } else if (n == 0 || errno != EINTR) {
+          // Worker exited (crash, SIGKILL, clean death). Closing the
+          // connection is the signal the coordinator's failure policy
+          // feeds on: it charges the in-flight task and reconnects,
+          // which spawns a fresh worker here.
+          dead = true;
+        }
+      }
+
+      if (dead) {
+        Teardown(&s);
+        sessions.erase(sessions.begin() +
+                       static_cast<std::ptrdiff_t>(k));
+        // fds indexes are stale for the remaining sessions this round;
+        // the next poll rebuilds them. Skip to it.
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace disco::exec

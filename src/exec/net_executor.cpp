@@ -1,0 +1,440 @@
+// Network executor backend (--backend=net): a coordinator that streams
+// wire-framed tasks over TCP to disco_workerd daemons (net_daemon.h).
+//
+// Each ExecOptions::hosts entry is one worker slot. For every slot the
+// coordinator connects to the daemon, checks its kHello protocol
+// version, and sends a kSpawn frame carrying this process's own argv
+// plus --worker=<job> — the daemon execs exactly the re-invocation the
+// procs backend forks locally, so a remote worker follows the same
+// argv-determined code path and the run's bytes cannot depend on where a
+// task executed. From there the transport is the same framed stream the
+// pipe backend uses, relayed verbatim by the daemon.
+//
+// Failure policy is the shared TaskScheduler's (retry budgets, straggler
+// duplication), plus the transport's own recovery: a lost connection
+// charges the in-flight task one failed attempt (it is requeued onto
+// other slots immediately) while the slot reconnects with bounded
+// exponential backoff — so a SIGKILLed worker costs one retry and the
+// slot comes back with a fresh worker, a SIGKILLed daemon drains its
+// slot's reconnect budget and the run finishes on surviving daemons, and
+// a daemon restarted within the backoff window picks its slot back up
+// mid-run.
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "exec/exec_internal.h"
+#include "exec/net_daemon.h"
+#include "exec/task_scheduler.h"
+#include "exec/wire.h"
+
+namespace disco::exec {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kConnectTimeoutMs = 1000;  // per TCP connect attempt
+constexpr int kHelloTimeoutMs = 5000;    // daemon accept -> hello frame
+
+bool WriteAllFd(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Non-blocking connect with a deadline, restored to blocking on success.
+int ConnectWithTimeout(const std::string& host, int port,
+                       std::string* error) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  const int gai = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints,
+                                &res);
+  if (gai != 0) {
+    *error = "resolve " + host + ": " + ::gai_strerror(gai);
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family,
+                  ai->ai_socktype | SOCK_CLOEXEC | SOCK_NONBLOCK,
+                  ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    if (errno == EINPROGRESS) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, kConnectTimeoutMs);
+      int so_error = 0;
+      socklen_t len = sizeof so_error;
+      if (ready == 1 &&
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) == 0 &&
+          so_error == 0) {
+        break;
+      }
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    *error = "connect " + host + ":" + port_str + " failed";
+    return -1;
+  }
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  return fd;
+}
+
+// One daemon endpoint = one worker slot.
+struct NetSlot {
+  std::string host;
+  int port = 0;
+  std::size_t sched_slot = 0;
+  int fd = -1;
+  FrameBuffer frames;
+  bool connected = false;
+  bool abandoned = false;        // reconnect budget exhausted
+  int attempts_left = 0;         // remaining consecutive connect tries
+  int backoff_ms = 0;            // delay before the next try
+  Clock::time_point retry_at;    // when the next try is due
+};
+
+class NetExecutor : public Executor {
+ public:
+  explicit NetExecutor(const ExecOptions& opts)
+      : worker_argv_(opts.worker_argv),
+        hosts_(opts.hosts),
+        max_retries_(EffectiveMaxRetries(opts.max_retries)),
+        straggler_ms_(EffectiveStragglerMs(opts.straggler_ms)),
+        backoff_ms_(EffectiveNetBackoffMs()),
+        backoff_max_ms_(EffectiveNetBackoffMaxMs()),
+        reconnects_(EffectiveNetReconnects()) {}
+
+  RunResult Run(std::size_t count, const TaskFn& fn,
+                std::vector<std::string>* results) override;
+
+ private:
+  // Connect + hello + spawn handshake for one slot. On success the slot
+  // is connected with a worker running behind it.
+  bool TryConnect(NetSlot* s, std::size_t job, std::string* why);
+
+  void CloseSlot(NetSlot* s) {
+    if (s->fd >= 0) ::close(s->fd);
+    s->fd = -1;
+    s->connected = false;
+  }
+
+  RunResult Fail(std::vector<NetSlot>* slots, std::size_t task,
+                 bool task_known, std::string message) {
+    for (NetSlot& s : *slots) CloseSlot(&s);
+    RunResult r;
+    r.ok = false;
+    r.failed_task = task;
+    r.task_known = task_known;
+    r.error = std::move(message);
+    return r;
+  }
+
+  RunResult FailFromScheduler(std::vector<NetSlot>* slots,
+                              const TaskScheduler& sched) {
+    return Fail(slots, sched.failed_task(), sched.task_known(),
+                sched.error());
+  }
+
+  // Lost connection: charge the in-flight task, arm the backoff timer.
+  // False when the charge exhausted the task's retries.
+  bool HandleSlotLoss(NetSlot* s, TaskScheduler* sched,
+                      const std::string& why, Clock::time_point now) {
+    CloseSlot(s);
+    if (!sched->OnSlotDeath(s->sched_slot, why)) return false;
+    s->attempts_left = reconnects_;
+    s->backoff_ms = backoff_ms_;
+    s->retry_at = now + std::chrono::milliseconds(s->backoff_ms);
+    return true;
+  }
+
+  const std::vector<std::string> worker_argv_;
+  const std::vector<std::string> hosts_;
+  const int max_retries_;
+  const int straggler_ms_;
+  const int backoff_ms_;
+  const int backoff_max_ms_;
+  const int reconnects_;
+};
+
+bool NetExecutor::TryConnect(NetSlot* s, std::size_t job,
+                             std::string* why) {
+  int fd = ConnectWithTimeout(s->host, s->port, why);
+  if (fd < 0) return false;
+
+  // Hello: refuse a daemon speaking another protocol era before handing
+  // it a command to exec.
+  FrameBuffer frames;
+  Frame hello;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(kHelloTimeoutMs);
+  for (;;) {
+    std::string parse_error;
+    const FrameBuffer::Status st = frames.Next(&hello, &parse_error);
+    if (st == FrameBuffer::Status::kFrame) break;
+    if (st == FrameBuffer::Status::kMalformed) {
+      *why = "daemon handshake: " + parse_error;
+      ::close(fd);
+      return false;
+    }
+    const auto remaining = std::chrono::duration_cast<
+        std::chrono::milliseconds>(deadline - Clock::now());
+    if (remaining.count() <= 0) {
+      *why = "daemon hello timed out";
+      ::close(fd);
+      return false;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (ready < 0 && errno != EINTR) {
+      *why = std::string("poll: ") + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    if (ready <= 0) continue;
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) {
+      *why = "daemon closed during handshake";
+      ::close(fd);
+      return false;
+    }
+    frames.Append(chunk, static_cast<std::size_t>(n));
+  }
+  if (hello.type != static_cast<char>(FrameType::kHello) ||
+      hello.index != kWireProtocolVersion) {
+    *why = "daemon protocol mismatch (got version " +
+           std::to_string(hello.index) + ", want " +
+           std::to_string(kWireProtocolVersion) + ")";
+    ::close(fd);
+    return false;
+  }
+
+  // Spawn the worker: this process's argv + --worker=<job>, environment
+  // left to the daemon's host (remote machines size their own pools).
+  std::vector<std::string> argv = worker_argv_;
+  argv.push_back(WorkerFlag(job));
+  const std::string spawn =
+      EncodeFrame(static_cast<char>(FrameType::kSpawn), 0,
+                  EncodeSpawnPayload(argv, {}));
+  if (!WriteAllFd(fd, spawn.data(), spawn.size())) {
+    *why = "daemon connection lost sending spawn";
+    ::close(fd);
+    return false;
+  }
+
+  s->fd = fd;
+  s->frames = FrameBuffer{};  // fresh connection, fresh stream
+  s->connected = true;
+  return true;
+}
+
+RunResult NetExecutor::Run(std::size_t count, const TaskFn& fn,
+                           std::vector<std::string>* results) {
+  (void)fn;  // tasks are evaluated in remote worker processes, never here
+  const std::size_t job = internal::ClaimJobNumber();
+  if (count == 0) {
+    results->clear();
+    return RunResult{};
+  }
+
+  std::vector<NetSlot> slots;
+  TaskScheduler sched(count, max_retries_, straggler_ms_, results);
+  if (hosts_.empty()) {
+    return Fail(&slots, 0, false,
+                "net backend needs at least one --hosts= daemon endpoint");
+  }
+  for (const std::string& spec : hosts_) {
+    NetSlot s;
+    if (!ParseHostPort(spec, &s.host, &s.port)) {
+      return Fail(&slots, 0, false,
+                  "bad --hosts entry \"" + spec + "\" (want host:port)");
+    }
+    s.sched_slot = sched.AddSlot();
+    // Slots start disconnected: scheduler-dead until the first handshake
+    // succeeds (ReviveSlot), due for an immediate connect attempt.
+    sched.OnSlotDeath(s.sched_slot, "not yet connected");
+    s.attempts_left = std::max(1, reconnects_);
+    s.backoff_ms = std::max(1, backoff_ms_);
+    s.retry_at = Clock::now();
+    slots.push_back(std::move(s));
+  }
+
+  // A daemon that vanishes mid-write must surface as EPIPE, not a
+  // process-killing SIGPIPE (same guard as the pipe transport).
+  struct SigpipeGuard {
+    void (*previous)(int);
+    SigpipeGuard() : previous(std::signal(SIGPIPE, SIG_IGN)) {}
+    ~SigpipeGuard() { std::signal(SIGPIPE, previous); }
+  } sigpipe_guard;
+
+  while (!sched.done()) {
+    const Clock::time_point now = Clock::now();
+
+    // Reconnect pass: every disconnected slot whose backoff timer
+    // expired gets one attempt; failures re-arm the timer with doubled
+    // (bounded) delay until the attempt budget runs dry.
+    for (NetSlot& s : slots) {
+      if (s.connected || s.abandoned || now < s.retry_at) continue;
+      std::string why;
+      if (TryConnect(&s, job, &why)) {
+        sched.ReviveSlot(s.sched_slot);
+        s.attempts_left = std::max(1, reconnects_);
+        s.backoff_ms = std::max(1, backoff_ms_);
+      } else if (--s.attempts_left <= 0) {
+        s.abandoned = true;
+        std::fprintf(stderr,
+                     "[exec] giving up on daemon %s:%d: %s\n",
+                     s.host.c_str(), s.port, why.c_str());
+      } else {
+        s.retry_at = now + std::chrono::milliseconds(s.backoff_ms);
+        s.backoff_ms = std::min(s.backoff_ms * 2,
+                                std::max(1, backoff_max_ms_));
+      }
+    }
+
+    bool any_usable = false;
+    for (const NetSlot& s : slots) {
+      if (s.connected || !s.abandoned) {
+        any_usable = true;
+        break;
+      }
+    }
+    if (!any_usable) {
+      const std::size_t first_unfinished = sched.FirstUnfinished();
+      return Fail(&slots, first_unfinished, true,
+                  "all daemons lost or unreachable with task " +
+                      std::to_string(first_unfinished) + " unfinished");
+    }
+
+    // Dispatch pass (same demand-driven policy as the pipe transport).
+    for (NetSlot& s : slots) {
+      if (!s.connected ||
+          sched.task_of(s.sched_slot) != TaskScheduler::kNoTask) {
+        continue;
+      }
+      const std::size_t task = sched.NextTask(s.sched_slot, now);
+      if (task == TaskScheduler::kNoTask) continue;
+      const std::string frame = EncodeFrame(
+          static_cast<char>(FrameType::kTask), task, std::string());
+      if (!WriteAllFd(s.fd, frame.data(), frame.size())) {
+        if (!HandleSlotLoss(&s, &sched,
+                            "daemon connection lost mid-dispatch", now)) {
+          return FailFromScheduler(&slots, sched);
+        }
+      }
+    }
+
+    // Poll: connected slots for frames, with a timeout short enough to
+    // service both the straggler scan and the earliest reconnect timer.
+    std::vector<pollfd> fds;
+    std::vector<NetSlot*> polled;
+    for (NetSlot& s : slots) {
+      if (!s.connected) continue;
+      fds.push_back({s.fd, POLLIN, 0});
+      polled.push_back(&s);
+    }
+    int timeout = straggler_ms_ > 0
+                      ? std::max(10, std::min(straggler_ms_, 200))
+                      : -1;
+    for (const NetSlot& s : slots) {
+      if (s.connected || s.abandoned) continue;
+      const auto until = std::chrono::duration_cast<
+          std::chrono::milliseconds>(s.retry_at - now);
+      const int ms =
+          static_cast<int>(std::max<long long>(1, until.count()));
+      timeout = timeout < 0 ? ms : std::min(timeout, ms);
+    }
+    if (fds.empty()) {
+      // Nothing connected yet: just wait out the shortest backoff.
+      ::poll(nullptr, 0, timeout < 0 ? 10 : timeout);
+      continue;
+    }
+    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    if (ready < 0 && errno != EINTR) {
+      return Fail(&slots, 0, false,
+                  std::string("poll: ") + std::strerror(errno));
+    }
+
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      NetSlot* s = polled[i];
+      char chunk[65536];
+      const ssize_t n = ::read(s->fd, chunk, sizeof chunk);
+      if (n > 0) {
+        s->frames.Append(chunk, static_cast<std::size_t>(n));
+        for (;;) {
+          Frame f;
+          std::string parse_error;
+          const FrameBuffer::Status st = s->frames.Next(&f, &parse_error);
+          if (st == FrameBuffer::Status::kNeedMore) break;
+          if (st == FrameBuffer::Status::kMalformed) {
+            return Fail(&slots, 0, false,
+                        "malformed frame from daemon " + s->host + ":" +
+                            std::to_string(s->port) + ": " + parse_error);
+          }
+          bool ok;
+          if (f.type == static_cast<char>(FrameType::kResult)) {
+            ok = sched.OnResult(s->sched_slot, f.index,
+                                std::move(f.payload));
+          } else if (f.type == static_cast<char>(FrameType::kTaskError)) {
+            ok = sched.OnTaskError(s->sched_slot, f.index, f.payload);
+          } else if (f.type ==
+                     static_cast<char>(FrameType::kProtocolError)) {
+            ok = sched.OnProtocolError(s->sched_slot, f.payload);
+          } else {
+            return Fail(&slots, 0, false,
+                        std::string("unexpected frame type '") + f.type +
+                            "' from daemon " + s->host + ":" +
+                            std::to_string(s->port));
+          }
+          if (!ok) return FailFromScheduler(&slots, sched);
+        }
+      } else if (n == 0 || (n < 0 && errno != EINTR)) {
+        if (!HandleSlotLoss(s, &sched, "daemon connection lost mid-task",
+                            Clock::now())) {
+          return FailFromScheduler(&slots, sched);
+        }
+      }
+    }
+  }
+
+  // Done. Closing a connection makes its daemon kill and reap the worker
+  // (including one still computing a stale straggler duplicate).
+  for (NetSlot& s : slots) CloseSlot(&s);
+  return RunResult{};
+}
+
+}  // namespace
+
+std::unique_ptr<Executor> MakeNetExecutor(const ExecOptions& opts) {
+  return std::make_unique<NetExecutor>(opts);
+}
+
+}  // namespace disco::exec

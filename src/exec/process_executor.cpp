@@ -1,16 +1,20 @@
 // Multi-process executor backend: a pool of worker subprocesses created by
 // re-invoking this binary with "--worker=<job>" appended to its own argv.
 //
-// Driver side (ProcessExecutor): spawns k workers, streams task indices to
-// them over per-worker pipes, and collects framed results. Scheduling is
+// Driver side (ProcessExecutor): spawns k workers, streams task frames to
+// them over per-worker pipes, and collects framed results. Scheduling —
+// the pending queue, retry budgets, straggler duplication — lives in the
+// transport-agnostic TaskScheduler (task_scheduler.h), shared with the
+// network backend; this file owns only the pipe transport. Scheduling is
 // demand-driven — a worker gets its next task the moment its previous
 // frame arrives — so the pool load-balances uneven cells automatically.
-// Failure policy:
+// Failure policy (TaskScheduler's):
 //   - a worker that exits (crash, SIGKILL, clean death) has its in-flight
 //     task rescheduled onto a surviving worker; the dead worker is not
 //     respawned, so capacity degrades gracefully until none remain;
-//   - a task that reports an error ("E" frame) is retried elsewhere, up to
-//     max_retries re-runs, after which Run fails naming the task;
+//   - a task that reports an error (kTaskError frame) is retried
+//     elsewhere, up to max_retries re-runs, after which Run fails naming
+//     the task;
 //   - with straggler_ms > 0, a task still running past the deadline is
 //     speculatively duplicated onto an idle worker (at most two copies);
 //     the first result wins and the loser is ignored. Tasks are pure
@@ -19,9 +23,14 @@
 // Worker side (WorkerServer): claims Run-call job numbers like any other
 // backend; calls before the assigned job evaluate in-process (their
 // results may feed the assigned job's task function), the assigned job
-// reads "T <index>" lines from stdin, answers with "R"/"E" frames on fd 3,
-// and exits on stdin EOF. Stdout points at /dev/null — stray prints from
-// bench code cannot corrupt the frame stream.
+// reads kTask frames (exec/wire.h binary framing) from stdin, answers
+// with kResult/kTaskError frames on fd 3, and exits on stdin EOF. A
+// request it cannot honor — malformed frame, out-of-range index — is
+// answered with a kProtocolError frame, which the driver treats as a
+// run-level failure: a protocol error is attributable to no task, so it
+// must never charge a retry to an innocent one. Stdout points at
+// /dev/null — stray prints from bench code cannot corrupt the frame
+// stream.
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
@@ -29,7 +38,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -39,6 +47,8 @@
 #include <unistd.h>
 
 #include "exec/exec_internal.h"
+#include "exec/task_scheduler.h"
+#include "exec/wire.h"
 
 extern char** environ;
 
@@ -62,58 +72,60 @@ bool WriteAll(int fd, const char* data, std::size_t len) {
   return true;
 }
 
-bool WriteFrame(int fd, char type, std::size_t index,
+bool WriteFrame(int fd, FrameType type, std::uint64_t index,
                 const std::string& payload) {
-  char header[64];
-  const int hn = std::snprintf(header, sizeof header, "%c %zu %zu\n", type,
-                               index, payload.size());
-  return WriteAll(fd, header, static_cast<std::size_t>(hn)) &&
-         WriteAll(fd, payload.data(), payload.size());
+  const std::string frame =
+      EncodeFrame(static_cast<char>(type), index, payload);
+  return WriteAll(fd, frame.data(), frame.size());
 }
 
 [[noreturn]] void ServeTasks(std::size_t count, const TaskFn& fn) {
-  std::string buf;
+  FrameBuffer frames;
   char chunk[4096];
   for (;;) {
-    std::size_t pos;
-    while ((pos = buf.find('\n')) != std::string::npos) {
-      const std::string line = buf.substr(0, pos);
-      buf.erase(0, pos + 1);
-      if (line.empty()) continue;
-      unsigned long long index = 0;
-      bool valid = line.size() > 2 && line[0] == 'T' && line[1] == ' ';
-      if (valid) {
-        char* end = nullptr;
-        index = std::strtoull(line.c_str() + 2, &end, 10);
-        valid = end != line.c_str() + 2 && *end == '\0' && index < count;
+    for (;;) {
+      Frame f;
+      std::string parse_error;
+      const FrameBuffer::Status st = frames.Next(&f, &parse_error);
+      if (st == FrameBuffer::Status::kNeedMore) break;
+      if (st == FrameBuffer::Status::kMalformed) {
+        // The request stream is unusable from here on: report and exit.
+        WriteFrame(kResultFd, FrameType::kProtocolError, 0,
+                   "malformed task frame: " + parse_error);
+        std::exit(1);
       }
-      if (!valid) {
-        if (!WriteFrame(kResultFd, 'E', static_cast<std::size_t>(index),
-                        "bad task request: " + line)) {
-          std::exit(1);
-        }
+      if (f.type != static_cast<char>(FrameType::kTask) ||
+          f.index >= count) {
+        // A bad request names no runnable task. Answering with a task
+        // error at the garbage index would either kill the run as
+        // "out-of-range task" or charge a retry to whatever innocent task
+        // the index happens to alias — so it gets its own frame type the
+        // driver maps to a run-level error.
+        WriteFrame(kResultFd, FrameType::kProtocolError, 0,
+                   std::string("bad task request: type '") + f.type +
+                       "' index " + std::to_string(f.index) + " (count " +
+                       std::to_string(count) + ")");
         continue;
       }
       std::string payload;
-      char type = 'R';
+      FrameType type = FrameType::kResult;
       try {
-        payload = fn(static_cast<std::size_t>(index));
+        payload = fn(static_cast<std::size_t>(f.index));
       } catch (const std::exception& e) {
-        type = 'E';
+        type = FrameType::kTaskError;
         payload = e.what();
       } catch (...) {
-        type = 'E';
+        type = FrameType::kTaskError;
         payload = "non-std exception";
       }
-      if (!WriteFrame(kResultFd, type, static_cast<std::size_t>(index),
-                      payload)) {
+      if (!WriteFrame(kResultFd, type, f.index, payload)) {
         std::exit(1);  // driver went away
       }
     }
     const ssize_t n = ::read(0, chunk, sizeof chunk);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // driver closed our stdin: done
-    buf.append(chunk, static_cast<std::size_t>(n));
+    frames.Append(chunk, static_cast<std::size_t>(n));
   }
   std::exit(0);
 }
@@ -142,19 +154,12 @@ class WorkerServer : public Executor {
 
 using Clock = std::chrono::steady_clock;
 
-struct TaskState {
-  bool done = false;
-  int failures = 0;  // failed attempts so far (crashes and E frames)
-  int inflight = 0;  // copies currently running (straggler duplication)
-};
-
 struct Worker {
   pid_t pid = -1;
-  int task_fd = -1;    // driver writes "T <index>\n"
-  int result_fd = -1;  // driver reads frames
-  std::string buf;
-  long long task = -1;  // index in flight, -1 when idle
-  Clock::time_point since;
+  int task_fd = -1;    // driver writes kTask frames
+  int result_fd = -1;  // driver reads result frames
+  FrameBuffer frames;
+  std::size_t slot = 0;  // TaskScheduler slot id
   bool alive = false;
 };
 
@@ -173,9 +178,10 @@ class ProcessExecutor : public Executor {
  private:
   RunResult Fail(std::vector<Worker>* workers, std::size_t task,
                  bool task_known, std::string message);
+  RunResult FailFromScheduler(std::vector<Worker>* workers,
+                              const TaskScheduler& sched);
   bool Spawn(std::size_t job, std::size_t job_workers, Worker* out,
              std::string* error);
-  void Dispatch(Worker* w, std::size_t task, std::vector<TaskState>* tasks);
   void ReapWorker(Worker* w);
 
   const std::vector<std::string> worker_argv_;
@@ -210,6 +216,12 @@ RunResult ProcessExecutor::Fail(std::vector<Worker>* workers,
   r.task_known = task_known;
   r.error = std::move(message);
   return r;
+}
+
+RunResult ProcessExecutor::FailFromScheduler(std::vector<Worker>* workers,
+                                             const TaskScheduler& sched) {
+  return Fail(workers, sched.failed_task(), sched.task_known(),
+              sched.error());
 }
 
 bool ProcessExecutor::Spawn(std::size_t job, std::size_t job_workers,
@@ -290,29 +302,18 @@ bool ProcessExecutor::Spawn(std::size_t job, std::size_t job_workers,
   out->pid = pid;
   out->task_fd = task_pipe[1];
   out->result_fd = result_pipe[0];
-  out->task = -1;
   out->alive = true;
   return true;
-}
-
-void ProcessExecutor::Dispatch(Worker* w, std::size_t task,
-                               std::vector<TaskState>* tasks) {
-  const std::string msg = "T " + std::to_string(task) + "\n";
-  w->task = static_cast<long long>(task);
-  w->since = Clock::now();
-  (*tasks)[task].inflight++;
-  if (!WriteAll(w->task_fd, msg.data(), msg.size())) {
-    // Worker already gone (EPIPE); the poll loop's EOF handling will
-    // requeue the task and reap the process.
-  }
 }
 
 RunResult ProcessExecutor::Run(std::size_t count, const TaskFn& fn,
                                std::vector<std::string>* results) {
   (void)fn;  // tasks are evaluated in worker processes, never here
   const std::size_t job = internal::ClaimJobNumber();
-  results->assign(count, std::string());
-  if (count == 0) return RunResult{};
+  if (count == 0) {
+    results->clear();
+    return RunResult{};
+  }
 
   // A dead worker's write end must raise EPIPE, not a process-killing
   // SIGPIPE — but only while this Run is scheduling. The previous
@@ -326,84 +327,31 @@ RunResult ProcessExecutor::Run(std::size_t count, const TaskFn& fn,
 
   const std::size_t job_workers = std::min(num_workers_, count);
   std::vector<Worker> workers(job_workers);
+  TaskScheduler sched(count, max_retries_, straggler_ms_, results);
   std::string spawn_error;
   for (std::size_t i = 0; i < job_workers; ++i) {
     if (!Spawn(job, job_workers, &workers[i], &spawn_error)) {
       return Fail(&workers, 0, false,
                   "cannot spawn worker: " + spawn_error);
     }
+    workers[i].slot = sched.AddSlot();
   }
 
-  std::vector<TaskState> tasks(count);
-  std::deque<std::size_t> pending;
-  for (std::size_t i = 0; i < count; ++i) pending.push_back(i);
-  std::size_t done_count = 0;
-
-  // Requeues (or finally fails) a task whose attempt just died. Returns
-  // false when retries are exhausted; *message then names the failure.
-  const auto attempt_failed = [&](std::size_t task, const std::string& why,
-                                  std::string* message) {
-    if (tasks[task].done) return true;  // a duplicate already finished it
-    if (++tasks[task].failures > max_retries_) {
-      *message = "task " + std::to_string(task) + " failed after " +
-                 std::to_string(tasks[task].failures) + " attempt(s): " +
-                 why;
-      return false;
-    }
-    if (tasks[task].inflight == 0) pending.push_back(task);
-    return true;
-  };
-
-  const auto handle_frame = [&](Worker* w, char type, std::size_t index,
-                                std::string payload, std::string* message) {
-    w->task = -1;
-    if (index >= count) {
-      *message = "worker sent a frame for out-of-range task " +
-                 std::to_string(index);
-      return false;
-    }
-    tasks[index].inflight--;
-    if (type == 'R') {
-      if (!tasks[index].done) {
-        tasks[index].done = true;
-        (*results)[index] = std::move(payload);
-        ++done_count;
-      }
-      return true;
-    }
-    return attempt_failed(index, payload, message);
-  };
-
-  std::string message;
-  std::size_t failed_task = 0;
-  while (done_count < count) {
+  while (!sched.done()) {
     // Demand-driven dispatch: pending tasks first, then — past the
     // straggler deadline — a speculative duplicate of the slowest
-    // single-copy task.
+    // single-copy task (TaskScheduler::NextTask).
     for (Worker& w : workers) {
-      if (!w.alive || w.task >= 0) continue;
-      if (!pending.empty()) {
-        const std::size_t task = pending.front();
-        pending.pop_front();
-        if (tasks[task].done) continue;
-        Dispatch(&w, task, &tasks);
-      } else if (straggler_ms_ > 0) {
-        Worker* slowest = nullptr;
-        for (Worker& other : workers) {
-          if (!other.alive || other.task < 0) continue;
-          const std::size_t t = static_cast<std::size_t>(other.task);
-          if (tasks[t].done || tasks[t].inflight != 1) continue;
-          if (Clock::now() - other.since <
-              std::chrono::milliseconds(straggler_ms_)) {
-            continue;
-          }
-          if (slowest == nullptr || other.since < slowest->since) {
-            slowest = &other;
-          }
-        }
-        if (slowest != nullptr) {
-          Dispatch(&w, static_cast<std::size_t>(slowest->task), &tasks);
-        }
+      if (!w.alive || sched.task_of(w.slot) != TaskScheduler::kNoTask) {
+        continue;
+      }
+      const std::size_t task = sched.NextTask(w.slot, Clock::now());
+      if (task == TaskScheduler::kNoTask) continue;
+      const std::string frame = EncodeFrame(
+          static_cast<char>(FrameType::kTask), task, std::string());
+      if (!WriteAll(w.task_fd, frame.data(), frame.size())) {
+        // Worker already gone (EPIPE); the poll loop's EOF handling will
+        // requeue the task and reap the process.
       }
     }
 
@@ -415,10 +363,7 @@ RunResult ProcessExecutor::Run(std::size_t count, const TaskFn& fn,
       polled.push_back(&w);
     }
     if (fds.empty()) {
-      std::size_t first_unfinished = 0;
-      while (first_unfinished < count && tasks[first_unfinished].done) {
-        ++first_unfinished;
-      }
+      const std::size_t first_unfinished = sched.FirstUnfinished();
       return Fail(&workers, first_unfinished, true,
                   "all workers exited with task " +
                       std::to_string(first_unfinished) + " unfinished");
@@ -439,43 +384,37 @@ RunResult ProcessExecutor::Run(std::size_t count, const TaskFn& fn,
       char chunk[65536];
       const ssize_t n = ::read(w->result_fd, chunk, sizeof chunk);
       if (n > 0) {
-        w->buf.append(chunk, static_cast<std::size_t>(n));
-        // Drain complete frames: "R|E <index> <len>\n" + len bytes.
+        w->frames.Append(chunk, static_cast<std::size_t>(n));
         for (;;) {
-          const std::size_t nl = w->buf.find('\n');
-          if (nl == std::string::npos) break;
-          // Parse the header line only: sscanf on the whole buffer would
-          // treat the newline as whitespace and read fields from the next
-          // frame's bytes, desyncing the stream instead of failing.
-          const std::string header = w->buf.substr(0, nl);
-          char type = 0;
-          std::size_t index = 0, len = 0;
-          if (std::sscanf(header.c_str(), "%c %zu %zu", &type, &index,
-                          &len) != 3 ||
-              (type != 'R' && type != 'E')) {
+          Frame f;
+          std::string parse_error;
+          const FrameBuffer::Status st = w->frames.Next(&f, &parse_error);
+          if (st == FrameBuffer::Status::kNeedMore) break;
+          if (st == FrameBuffer::Status::kMalformed) {
             return Fail(&workers, 0, false,
-                        "malformed worker frame: " + header);
+                        "malformed worker frame: " + parse_error);
           }
-          if (w->buf.size() < nl + 1 + len) break;  // payload incomplete
-          std::string payload = w->buf.substr(nl + 1, len);
-          w->buf.erase(0, nl + 1 + len);
-          if (!handle_frame(w, type, index, std::move(payload), &message)) {
-            failed_task = index;
-            return Fail(&workers, failed_task, true, message);
+          bool ok;
+          if (f.type == static_cast<char>(FrameType::kResult)) {
+            ok = sched.OnResult(w->slot, f.index, std::move(f.payload));
+          } else if (f.type == static_cast<char>(FrameType::kTaskError)) {
+            ok = sched.OnTaskError(w->slot, f.index, f.payload);
+          } else if (f.type ==
+                     static_cast<char>(FrameType::kProtocolError)) {
+            ok = sched.OnProtocolError(w->slot, f.payload);
+          } else {
+            return Fail(&workers, 0, false,
+                        std::string("unexpected worker frame type '") +
+                            f.type + "'");
           }
+          if (!ok) return FailFromScheduler(&workers, sched);
         }
       } else if (n == 0 || (n < 0 && errno != EINTR)) {
         // Worker died (SIGKILL, crash, or clean exit we didn't ask for).
         // Its in-flight task is rescheduled onto the survivors.
-        const long long inflight = w->task;
         ReapWorker(w);
-        if (inflight >= 0) {
-          const std::size_t task = static_cast<std::size_t>(inflight);
-          tasks[task].inflight--;
-          if (!attempt_failed(task, "worker process exited mid-task",
-                              &message)) {
-            return Fail(&workers, task, true, message);
-          }
+        if (!sched.OnSlotDeath(w->slot, "worker process exited mid-task")) {
+          return FailFromScheduler(&workers, sched);
         }
       }
     }
@@ -486,7 +425,9 @@ RunResult ProcessExecutor::Run(std::size_t count, const TaskFn& fn,
   // tasks are pure, nothing is lost.
   for (Worker& w : workers) {
     if (!w.alive) continue;
-    if (w.task >= 0 && w.pid > 0) ::kill(w.pid, SIGKILL);
+    if (sched.task_of(w.slot) != TaskScheduler::kNoTask && w.pid > 0) {
+      ::kill(w.pid, SIGKILL);
+    }
     ReapWorker(&w);
   }
   return RunResult{};

@@ -1,11 +1,28 @@
-// Byte-exact serialization for executor task results.
+// Byte-exact serialization for executor task results, and the framed wire
+// protocol both distributed backends speak.
 //
-// The multi-process backend ships task results between processes as opaque
-// byte strings, so anything a task returns must round-trip losslessly:
-// doubles travel as their IEEE-754 bit pattern (never through text), and
-// strings are length-prefixed. Encoding a value and decoding it back is
-// the identity, which is what lets `--backend=procs` output stay
-// byte-identical to the in-process run.
+// The multi-process and network backends ship task results between
+// processes as opaque byte strings, so anything a task returns must
+// round-trip losslessly: doubles travel as their IEEE-754 bit pattern
+// (never through text), and strings are length-prefixed. Encoding a value
+// and decoding it back is the identity, which is what lets
+// `--backend=procs` and `--backend=net` output stay byte-identical to the
+// in-process run.
+//
+// Frame layout (one versioned binary framing for every transport — worker
+// pipes and daemon TCP connections alike; see executor.h for who sends
+// what):
+//
+//   offset 0   4 bytes   magic "DWX" + version digit ('1')
+//   offset 4   1 byte    frame type (FrameType)
+//   offset 5   8 bytes   index, little-endian u64 (task index, or the
+//                        protocol version for kHello; 0 when unused)
+//   offset 13  8 bytes   payload length, little-endian u64
+//   offset 21  ...       payload bytes
+//
+// A receiver that sees a bad magic, an unknown type, or an absurd length
+// is desynced or talking to the wrong peer; FrameBuffer reports that as
+// malformed rather than guessing, and transports fail the run.
 #pragma once
 
 #include <cstdint>
@@ -124,5 +141,155 @@ struct TextBundle {
     return true;
   }
 };
+
+// ------------------------------------------------------------ wire frames
+
+/// Bumped when the frame layout or the meaning of a type changes; carried
+/// in every kHello frame so a coordinator refuses a daemon from another
+/// era instead of desyncing mid-run.
+constexpr std::uint64_t kWireProtocolVersion = 1;
+
+/// "DWX1": disco wire exchange, layout version 1. The version digit is
+/// part of the magic so a frame from a future incompatible layout fails
+/// the magic check outright.
+constexpr char kFrameMagic[4] = {'D', 'W', 'X', '1'};
+
+/// Frames larger than this are treated as stream corruption, not data: a
+/// task result is at most a bundle of TSV files, far under 1 GiB.
+constexpr std::uint64_t kMaxFramePayload = 1ull << 30;
+
+enum class FrameType : char {
+  kTask = 'T',       // driver -> worker: run task <index> (no payload)
+  kResult = 'R',     // worker -> driver: task <index> result bytes
+  kTaskError = 'E',  // worker -> driver: task <index> threw; payload names
+                     // the error and charges one retry to the task
+  kProtocolError = 'B',  // worker -> driver: the request stream itself was
+                         // bad (malformed frame, out-of-range index). Not
+                         // attributable to any task: the driver fails the
+                         // whole run instead of charging an innocent task
+  kSpawn = 'S',  // coordinator -> daemon: fork/exec a worker; payload is
+                 // EncodeSpawnPayload (argv + env assignments)
+  kHello = 'H',  // daemon -> coordinator, on accept: index carries
+                 // kWireProtocolVersion
+};
+
+struct Frame {
+  char type = 0;
+  std::uint64_t index = 0;
+  std::string payload;
+};
+
+inline std::string EncodeFrame(char type, std::uint64_t index,
+                               const std::string& payload) {
+  std::string out;
+  out.reserve(21 + payload.size());
+  out.append(kFrameMagic, 4);
+  out.push_back(type);
+  PutU64(&out, index);
+  PutU64(&out, payload.size());
+  out.append(payload);
+  return out;
+}
+
+/// Incremental frame parser over an append-only byte stream (one per pipe
+/// or socket). Feed it reads as they arrive; Next yields complete frames
+/// in order, kNeedMore when the buffer holds only a partial frame, and
+/// kMalformed (with a message) on desync — after which the stream is
+/// unusable.
+class FrameBuffer {
+ public:
+  enum class Status { kFrame, kNeedMore, kMalformed };
+
+  void Append(const char* data, std::size_t n) { buf_.append(data, n); }
+
+  Status Next(Frame* out, std::string* error) {
+    if (buf_.size() < 21) return Status::kNeedMore;
+    if (std::memcmp(buf_.data(), kFrameMagic, 4) != 0) {
+      *error = "bad frame magic";
+      return Status::kMalformed;
+    }
+    const char type = buf_[4];
+    if (type != static_cast<char>(FrameType::kTask) &&
+        type != static_cast<char>(FrameType::kResult) &&
+        type != static_cast<char>(FrameType::kTaskError) &&
+        type != static_cast<char>(FrameType::kProtocolError) &&
+        type != static_cast<char>(FrameType::kSpawn) &&
+        type != static_cast<char>(FrameType::kHello)) {
+      *error = std::string("unknown frame type '") + type + "'";
+      return Status::kMalformed;
+    }
+    const std::uint64_t index = ReadU64(5);
+    const std::uint64_t len = ReadU64(13);
+    if (len > kMaxFramePayload) {
+      *error = "frame payload length " + std::to_string(len) +
+               " exceeds the sanity bound";
+      return Status::kMalformed;
+    }
+    if (buf_.size() < 21 + len) return Status::kNeedMore;
+    out->type = type;
+    out->index = index;
+    out->payload = buf_.substr(21, static_cast<std::size_t>(len));
+    buf_.erase(0, 21 + static_cast<std::size_t>(len));
+    return Status::kFrame;
+  }
+
+  /// Drains the raw unparsed remainder. The daemon uses this at the
+  /// parse -> relay switch: once the kSpawn frame is consumed, any bytes
+  /// pipelined behind it are task frames that belong to the worker
+  /// verbatim.
+  std::string TakeBuffered() {
+    std::string out;
+    out.swap(buf_);
+    return out;
+  }
+
+ private:
+  std::uint64_t ReadU64(std::size_t at) const {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(buf_[at + i]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  std::string buf_;
+};
+
+/// kSpawn payload: the worker argv the daemon must exec (the coordinator's
+/// own argv plus --worker=<job>), then environment assignments ("K=V") to
+/// layer over the daemon's environment.
+inline std::string EncodeSpawnPayload(const std::vector<std::string>& argv,
+                                      const std::vector<std::string>& env) {
+  std::string out;
+  PutU64(&out, argv.size());
+  for (const std::string& a : argv) PutString(&out, a);
+  PutU64(&out, env.size());
+  for (const std::string& e : env) PutString(&out, e);
+  return out;
+}
+
+inline bool ParseSpawnPayload(const std::string& buf,
+                              std::vector<std::string>* argv,
+                              std::vector<std::string>* env) {
+  WireReader r(buf);
+  argv->clear();
+  env->clear();
+  std::uint64_t n = 0;
+  if (!r.GetU64(&n)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string s;
+    if (!r.GetString(&s)) return false;
+    argv->push_back(std::move(s));
+  }
+  if (!r.GetU64(&n)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string s;
+    if (!r.GetString(&s)) return false;
+    env->push_back(std::move(s));
+  }
+  return !argv->empty();
+}
 
 }  // namespace disco::exec

@@ -1,13 +1,17 @@
-// Executor-layer tests: thread-backend semantics, wire round-trips, and —
-// through the exec_test_worker helper binary — the process backend's
-// failure handling: a SIGKILLed worker's task rescheduled onto a survivor
+// Executor-layer tests: thread-backend semantics, wire round-trips, the
+// transport-agnostic TaskScheduler's failure accounting, and — through
+// the exec_test_worker helper binary — the process backend's failure
+// handling: a SIGKILLed worker's task rescheduled onto a survivor
 // (converging to the same bytes as the in-process run), a poison task
 // exhausting its retries with the failing task named, a drained pool
-// surfacing an error, and a straggler past the deadline getting a
-// speculative duplicate.
+// surfacing an error, a straggler past the deadline getting a
+// speculative duplicate, and misbehaving workers (forged frame index,
+// protocol-error frames) failing the run instead of corrupting it.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <numeric>
 #include <sstream>
@@ -19,6 +23,7 @@
 #include <unistd.h>
 
 #include "exec/executor.h"
+#include "exec/task_scheduler.h"
 #include "exec/wire.h"
 
 #ifndef EXEC_TEST_WORKER_PATH
@@ -180,6 +185,100 @@ TEST_F(ExecutorTest, DrainedWorkerPoolSurfacesAnError) {
   const exec::RunResult status = executor->Run(6, NotCalled(), &results);
   ASSERT_FALSE(status.ok);
   EXPECT_FALSE(status.error.empty());
+}
+
+TEST_F(ExecutorTest, SchedulerSkipsStaleDoneEntriesInPending) {
+  // A task can sit in the pending queue after it already finished (the
+  // straggler path re-queues an in-flight task; the original may then
+  // complete first). Handing out the stale entry would run a done task
+  // again and stall a live one; returning "no task" on first pop — the
+  // old dispatch-loop bug — idles the slot while real work waits behind
+  // the stale entry.
+  std::vector<std::string> results;
+  exec::TaskScheduler sched(3, /*max_retries=*/2, /*straggler_ms=*/0,
+                            &results);
+  const std::size_t s0 = sched.AddSlot();
+  const std::size_t s1 = sched.AddSlot();
+  const auto now = std::chrono::steady_clock::now();
+  ASSERT_EQ(sched.NextTask(s0, now), 0u);
+  sched.PushPendingFrontForTest(0);  // straggler-style duplicate entry
+  ASSERT_TRUE(sched.OnResult(s0, 0, "r0"));  // original finishes first
+  // The stale 0 at the queue front must be skipped, not dispensed and
+  // not treated as "queue empty".
+  EXPECT_EQ(sched.NextTask(s1, now), 1u);
+  EXPECT_EQ(sched.NextTask(s0, now), 2u);
+  ASSERT_TRUE(sched.OnResult(s1, 1, "r1"));
+  ASSERT_TRUE(sched.OnResult(s0, 2, "r2"));
+  EXPECT_TRUE(sched.done());
+  EXPECT_EQ(results, (std::vector<std::string>{"r0", "r1", "r2"}));
+}
+
+TEST_F(ExecutorTest, SchedulerRejectsFramesForTasksTheSlotDoesNotHold) {
+  // A frame index is only trusted when it names the task the slot was
+  // handed. Crediting a worker-reported index blindly let a buggy worker
+  // drive a task's inflight count negative and strand the run.
+  std::vector<std::string> results;
+  exec::TaskScheduler sched(2, 2, 0, &results);
+  const std::size_t s0 = sched.AddSlot();
+  ASSERT_EQ(sched.NextTask(s0, std::chrono::steady_clock::now()), 0u);
+  EXPECT_FALSE(sched.OnResult(s0, 1, "forged"));
+  EXPECT_NE(sched.error().find("task 1 while running task 0"),
+            std::string::npos)
+      << sched.error();
+
+  std::vector<std::string> results2;
+  exec::TaskScheduler idle(2, 2, 0, &results2);
+  const std::size_t i0 = idle.AddSlot();
+  EXPECT_FALSE(idle.OnResult(i0, 0, "unsolicited"));
+  EXPECT_NE(idle.error().find("while idle"), std::string::npos)
+      << idle.error();
+}
+
+TEST_F(ExecutorTest, EnvKnobsRejectOverflowAndGarbage) {
+  // The env fallbacks must clamp-check exactly like flag parsing:
+  // strtol on "99999999999" saturates to LONG_MAX (no ERANGE check meant
+  // it was truncated into whatever int cast fell out) and garbage must
+  // not read as 0.
+  ASSERT_EQ(::setenv("DISCO_EXEC_RETRIES", "99999999999", 1), 0);
+  EXPECT_EQ(exec::EffectiveMaxRetries(-1), 2);  // overflow -> default
+  ASSERT_EQ(::setenv("DISCO_EXEC_RETRIES", "7x", 1), 0);
+  EXPECT_EQ(exec::EffectiveMaxRetries(-1), 2);  // garbage -> default
+  ASSERT_EQ(::setenv("DISCO_EXEC_RETRIES", "-3", 1), 0);
+  EXPECT_EQ(exec::EffectiveMaxRetries(-1), 2);  // negative -> default
+  ASSERT_EQ(::setenv("DISCO_EXEC_RETRIES", "7", 1), 0);
+  EXPECT_EQ(exec::EffectiveMaxRetries(-1), 7);  // sane value honored
+  ASSERT_EQ(::unsetenv("DISCO_EXEC_RETRIES"), 0);
+  EXPECT_EQ(exec::EffectiveMaxRetries(-1), 2);  // unset -> default
+
+  ASSERT_EQ(::setenv("DISCO_EXEC_NET_RECONNECTS", "99999999999", 1), 0);
+  EXPECT_EQ(exec::EffectiveNetReconnects(), 5);
+  ASSERT_EQ(::unsetenv("DISCO_EXEC_NET_RECONNECTS"), 0);
+}
+
+TEST_F(ExecutorTest, WorkerForgingAWrongIndexFrameFailsTheRun) {
+  // Task 1's worker emits a result frame claiming to be task 0 (which
+  // another slot holds or already finished). The run must fail with the
+  // mismatch named — not credit task 0 with bytes it never produced.
+  const auto executor =
+      exec::MakeExecutor(ProcOpts(2, {"--mode=wrong-index-task1"}));
+  std::vector<std::string> results;
+  const exec::RunResult status = executor->Run(4, NotCalled(), &results);
+  ASSERT_FALSE(status.ok);
+  EXPECT_NE(status.error.find("while running task"), std::string::npos)
+      << status.error;
+}
+
+TEST_F(ExecutorTest, WorkerProtocolErrorFrameFailsTheRun) {
+  // A protocol-error frame is attributable to no task, so it must fail
+  // the whole run — the old text protocol echoed the garbage back as a
+  // task error and charged an innocent task a retry.
+  const auto executor =
+      exec::MakeExecutor(ProcOpts(2, {"--mode=badreq-task1"}));
+  std::vector<std::string> results;
+  const exec::RunResult status = executor->Run(4, NotCalled(), &results);
+  ASSERT_FALSE(status.ok);
+  EXPECT_NE(status.error.find("protocol error"), std::string::npos)
+      << status.error;
 }
 
 TEST_F(ExecutorTest, StragglerIsSpeculativelyDuplicated) {

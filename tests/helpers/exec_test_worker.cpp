@@ -14,6 +14,18 @@
 //                            sleeps 1200 ms — with a short straggler
 //                            deadline the driver speculatively duplicates
 //                            it, which the marker byte count proves
+//   --mode=wrong-index-task1 a worker handed task 1 first emits a forged
+//                            result frame for task 0 on the result fd — a
+//                            buggy/hostile worker misattributing work; the
+//                            driver must fail the run, not credit task 0
+//   --mode=badreq-task1      a worker handed task 1 emits a protocol-error
+//                            frame, as ServeTasks does for a bad request;
+//                            the driver must fail the whole run
+//   --mode=kill-parent-task2 the first worker handed task 2 SIGKILLs its
+//                            parent process (under --backend=net that is
+//                            the disco_workerd daemon: the whole-daemon
+//                            loss drill), recording --marker like
+//                            kill-self-task2 so retries compute normally
 //
 // Standalone (no --worker=) it runs its tasks on the thread backend and
 // prints them, which is also what the test uses to assert that both
@@ -31,10 +43,28 @@
 #include <unistd.h>
 
 #include "exec/executor.h"
+#include "exec/wire.h"
 
 namespace {
 constexpr std::size_t kNumTasks = 16;  // >= any count the test drives
+
+// The worker side of the result pipe (see ServeTasks in
+// process_executor.cpp); the fault modes below forge frames on it.
+constexpr int kResultFd = 3;
+
+void WriteRawFrame(char type, std::uint64_t index,
+                   const std::string& payload) {
+  const std::string frame = disco::exec::EncodeFrame(type, index, payload);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n =
+        ::write(kResultFd, frame.data() + off, frame.size() - off);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
 }
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string mode = "echo", marker;
@@ -74,6 +104,28 @@ int main(int argc, char** argv) {
       // rescheduled attempt — compute normally.
     }
     if (mode == "kill-always-task2" && i == 2) ::raise(SIGKILL);
+    if (mode == "kill-parent-task2" && i == 2 &&
+        disco::exec::InWorkerMode()) {
+      const int fd =
+          ::open(marker.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+      if (fd >= 0) {
+        ::close(fd);
+        ::kill(::getppid(), SIGKILL);
+        // Our pipes to the dead parent will EOF shortly; die with it so
+        // this attempt is cleanly charged rather than racing the close.
+        ::raise(SIGKILL);
+      }
+    }
+    if (mode == "wrong-index-task1" && i == 1 &&
+        disco::exec::InWorkerMode()) {
+      WriteRawFrame(static_cast<char>(disco::exec::FrameType::kResult), 0,
+                    "forged-result-0");
+    }
+    if (mode == "badreq-task1" && i == 1 && disco::exec::InWorkerMode()) {
+      WriteRawFrame(
+          static_cast<char>(disco::exec::FrameType::kProtocolError), 0,
+          "task request index 999 out of range");
+    }
     if (mode == "sleep-task0" && i == 0) {
       const int fd =
           ::open(marker.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
