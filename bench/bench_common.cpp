@@ -14,6 +14,9 @@
 #include "exec/wire.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 #include "sim/metrics.h"
 #include "store/artifact_store.h"
@@ -55,6 +58,8 @@ std::string JoinNames(const std::vector<std::string>& names) {
       "                   per entry; repeat an entry for more slots)\n"
       "  --store=<dir>    artifact store with prebuilt landmark trees\n"
       "                   (prebuild with disco_store; wall-clock only)\n"
+      "  --trace=<file>   write a Chrome trace_event timeline of the run\n"
+      "                   (open in Perfetto; stdout/TSVs are unchanged)\n"
       "  --worker=<job>   internal: serve one executor job as a worker\n"
       "  --full           run at the paper's full scale\n"
       "  --quick          shrink everything (CI smoke scale)\n"
@@ -64,40 +69,28 @@ std::string JoinNames(const std::vector<std::string>& names) {
   std::exit(code);
 }
 
-// Registered via atexit when --store= is given: the tier traffic summary
-// the store satellites report. Goes to stderr so stdout (and therefore
-// store vs storeless byte-identity) is untouched. Counters are
-// process-local: executor workers (suppressed below, to keep procs runs
-// from interleaving one line per worker) do their tree work in their own
-// processes, so under --backend=procs the driver's numbers cover only
-// its own process — the line says so rather than reporting a misleading
-// dijkstra=0 for work the workers actually did.
+// Registered via atexit when --store= is given: the unified registry dump
+// ("[metrics] store trees: ...", "[metrics] graph sources: ..."). Goes to
+// stderr so stdout (and therefore store vs storeless byte-identity) is
+// untouched. Counters are process-local, but backends that farm work out
+// to other processes fold worker counters back in at drain time (the kObs
+// goodbye frame, src/exec/wire.h) — the dump's note says which of the two
+// it is, so a "dijkstra=0" line is never silently missing worker Dijkstras
+// that were merely done elsewhere. Workers themselves stay silent to keep
+// procs runs from interleaving one dump per worker.
 bool g_store_run_uses_procs = false;
 
-void PrintStoreCountersAtExit() {
+void DumpMetricsAtExit() {
   if (exec::InWorkerMode()) return;
-  const store::StoreCounters& c = store::Counters();
-  std::fprintf(stderr,
-               "[store] landmark trees: ram=%llu disk=%llu dijkstra=%llu "
-               "writeback=%llu%s\n",
-               static_cast<unsigned long long>(c.tree_ram_hits.load()),
-               static_cast<unsigned long long>(c.tree_store_hits.load()),
-               static_cast<unsigned long long>(c.tree_dijkstras.load()),
-               static_cast<unsigned long long>(c.tree_writebacks.load()),
-               g_store_run_uses_procs
-                   ? " (driver process only; procs workers keep their own)"
-                   : "");
-  // Graph provenance on its own line (the smoke scripts grep per line):
-  // generated=0 with mmap>0 is the proof a warm run rebuilt nothing.
-  const GraphLoadStats& gs = GraphLoadCounters();
-  std::fprintf(stderr,
-               "[graph] sources: generated=%llu mmap=%llu decode=%llu%s\n",
-               static_cast<unsigned long long>(gs.generated.load()),
-               static_cast<unsigned long long>(gs.mmap_loads.load()),
-               static_cast<unsigned long long>(gs.decode_loads.load()),
-               g_store_run_uses_procs
-                   ? " (driver process only; procs workers keep their own)"
-                   : "");
+  std::string note;
+  if (g_store_run_uses_procs) {
+    const std::size_t merged = obs::Global().MergedSourceCount();
+    note = merged == 0
+               ? "driver process only; workers keep their own"
+               : "aggregated over driver + " + std::to_string(merged) +
+                     " worker process(es)";
+  }
+  std::fputs(obs::Global().DumpText(note).c_str(), stderr);
 }
 
 }  // namespace
@@ -197,6 +190,12 @@ Args Args::Parse(int argc, char** argv, const char* extra_usage,
         std::exit(2);
       }
       exec::EnterWorkerMode(static_cast<std::size_t>(job));
+    } else if (const char* v = value_of("--trace=")) {
+      if (*v == '\0') {
+        std::fprintf(stderr, "--trace needs a file path\n");
+        PrintUsageAndExit(argv[0], extra_usage, 2);
+      }
+      a.trace = v;
     } else if (const char* v = value_of("--out=")) {
       a.out = v;
     } else if (const char* v = value_of("--store=")) {
@@ -206,7 +205,15 @@ Args Args::Parse(int argc, char** argv, const char* extra_usage,
                      err.empty() ? "" : ": ", err.c_str());
         std::exit(2);
       }
-      if (a.store.empty()) std::atexit(PrintStoreCountersAtExit);
+      if (a.store.empty()) {
+        // Touch the tier counters now so their groups hold the dump's
+        // first two slots (store trees, then graph sources — the lines
+        // the smoke scripts grep) and so worker Prometheus text merged
+        // during executor drain finds every series already registered.
+        (void)store::Counters();
+        (void)GraphLoadCounters();
+        std::atexit(DumpMetricsAtExit);
+      }
       a.store = v;
     } else if (const char* v = value_of("--schemes=")) {
       a.schemes = api::SplitSchemeList(v);
@@ -254,9 +261,15 @@ Args Args::Parse(int argc, char** argv, const char* extra_usage,
   }
   // Store/graph counters are process-local; any backend that farms work
   // out to other processes (local workers or remote daemons) leaves the
-  // driver's numbers covering only itself.
+  // driver's numbers covering only itself until worker goodbyes merge in.
   if (!a.store.empty() && a.backend != exec::Backend::kThreads) {
     g_store_run_uses_procs = true;
+  }
+  if (!a.trace.empty()) {
+    // Workers re-parse this argv, see the same --trace=, and (having
+    // entered worker mode above) flush pid-tagged sidecars instead of
+    // the merged file.
+    obs::ConfigureTracing(a.trace);
   }
   return a;
 }
@@ -357,7 +370,7 @@ bool CampaignArgs::Consume(const std::string& arg) {
 
 void WriteFileOrWarn(const std::string& path, const std::string& contents) {
   if (!WriteFile(path, contents)) {
-    std::fprintf(stderr, "warning: failed to write %s\n", path.c_str());
+    obs::Log(obs::LogLevel::kWarn, "failed to write %s", path.c_str());
   }
 }
 
@@ -511,6 +524,7 @@ std::vector<std::string> RunTasksOrDie(
     const Args& args, std::size_t count, const exec::TaskFn& fn,
     runtime::ThreadPool* pool,
     const std::function<std::string(std::size_t)>& label) {
+  DISCO_TRACE_SPAN("bench.run_tasks");
   const auto executor = exec::MakeExecutor(args.MakeExecOptions(pool));
   std::vector<std::string> results;
   const exec::RunResult status = executor->Run(count, fn, &results);
@@ -569,6 +583,9 @@ void RunThousandNodeComparison(const std::string& tag, const Graph& g,
     for (const auto& s : prebuilt) s->PrewarmFor(s->AllNodes());
   }
   const exec::TaskFn task = [&](std::size_t i) {
+    // Span named after the scheme so the timeline shows which scheme each
+    // worker spent its time on (names interned: they must outlive flush).
+    obs::Span scheme_span(obs::InternName("bench.scheme." + names[i]));
     std::unique_ptr<api::RoutingScheme> own;
     if (!in_process) {
       own = api::MakeScheme(names[i], g, p);

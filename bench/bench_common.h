@@ -32,6 +32,11 @@
 //                    (src/store/; prebuild with disco_store). Wall-clock
 //                    only: output stays byte-identical to a storeless
 //                    run; tier counters go to stderr at exit.
+//   --trace=<file>   record a Chrome trace_event timeline of the run
+//                    (src/obs/trace.h; open in Perfetto). Determinism-
+//                    neutral: stdout and TSVs are byte-identical with
+//                    tracing on or off. Procs/net workers write pid-tagged
+//                    sidecars the driver merges into one timeline.
 //   --full           run at the paper's full scale (larger and slower)
 //   --quick          shrink everything (used by CI smoke runs)
 #pragma once
@@ -82,6 +87,10 @@ struct Args {
   /// including in procs-backend workers, which re-parse this argv — loads
   /// prebuilt trees instead of recomputing them.
   std::string store;
+  /// Trace output path (--trace=); "" = tracing off. Parse enables the
+  /// span tracer; workers (which re-parse this argv) flush pid-tagged
+  /// sidecars the driver merges at exit.
+  std::string trace;
   /// This process's argv, verbatim — the procs backend re-invokes it (plus
   /// --worker=<job>) to create workers.
   std::vector<std::string> raw_argv;

@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "serve/server.h"
 #include "serve/workload.h"
 #include "util/json.h"
@@ -166,8 +167,11 @@ int Main(int argc, char** argv) {
   const std::vector<std::string> names =
       args.SchemesOr({"disco", "nddisco", "s4", "vrr", "spf"});
   auto schemes = MakeSchemesOrDie(names, g, p);
-  for (const auto& scheme : schemes) {
-    scheme->PrewarmFor(scheme->AllNodes());
+  {
+    DISCO_TRACE_SPAN("serve.prewarm");
+    for (const auto& scheme : schemes) {
+      scheme->PrewarmFor(scheme->AllNodes());
+    }
   }
 
   serve::ServeOptions opts;
@@ -178,6 +182,7 @@ int Main(int argc, char** argv) {
   std::vector<serve::ServeResult> results;
   int resolved_threads = 0;
   for (const auto& scheme : schemes) {
+    obs::Span run_span(obs::InternName("serve.run." + scheme->name()));
     serve::ServeResult r = serve::ServeWorkload(
         scheme->route_fn(api::Phase::kLater), workload, streams, opts);
     resolved_threads = r.threads;

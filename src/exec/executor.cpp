@@ -11,6 +11,7 @@
 #include <mutex>
 
 #include "exec/exec_internal.h"
+#include "obs/trace.h"
 #include "runtime/parallel_for.h"
 
 namespace disco::exec {
@@ -49,6 +50,7 @@ class ThreadExecutor : public Executor {
   RunResult Run(std::size_t count, const TaskFn& fn,
                 std::vector<std::string>* results) override {
     internal::ClaimJobNumber();
+    DISCO_TRACE_SPAN("exec.run.threads");
     return internal::RunInProcess(count, fn, results, pool_);
   }
 
@@ -75,6 +77,7 @@ RunResult RunInProcess(std::size_t count, const TaskFn& fn,
   runtime::ParallelForTasks(
       count,
       [&](std::size_t i) {
+        obs::Span task_span("exec.task");
         try {
           (*results)[i] = fn(i);
         } catch (const std::exception& e) {
@@ -117,6 +120,10 @@ bool ParseBackend(const std::string& name, Backend* out) {
 void EnterWorkerMode(std::size_t job) {
   g_worker_mode = true;
   g_worker_job = job;
+  // If this process also parses --trace= (workers re-parse the driver's
+  // argv), its flush must write a pid-tagged sidecar, never the merged
+  // file. Order-independent with ConfigureTracing.
+  obs::MarkTraceSidecarMode();
 }
 
 bool InWorkerMode() { return g_worker_mode; }

@@ -18,6 +18,9 @@
 #include <unistd.h>
 
 #include "exec/wire.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 extern char** environ;
 
@@ -25,6 +28,84 @@ namespace disco::exec {
 namespace {
 
 constexpr int kResultFd = 3;  // worker-side frame stream, by convention
+
+// Daemon registry counters ("[metrics] workerd:" dump line, emitted on
+// SIGUSR1 and at clean shutdown).
+struct DaemonMetrics {
+  obs::Counter& connections;
+  obs::Counter& spawns;
+  obs::Counter& frames_relayed;
+  obs::Counter& bytes_in;
+  obs::Counter& bytes_out;
+
+  DaemonMetrics()
+      : connections(obs::Global().RegisterCounter(
+            "disco_workerd_connections_total",
+            "Coordinator connections accepted", "workerd", "connections")),
+        spawns(obs::Global().RegisterCounter(
+            "disco_workerd_spawns_total", "Worker processes spawned",
+            "workerd", "spawns")),
+        frames_relayed(obs::Global().RegisterCounter(
+            "disco_workerd_frames_relayed_total",
+            "Wire frames relayed in either direction", "workerd",
+            "frames_relayed")),
+        bytes_in(obs::Global().RegisterCounter(
+            "disco_workerd_bytes_in_total", "Bytes read from coordinators",
+            "workerd", "bytes_in")),
+        bytes_out(obs::Global().RegisterCounter(
+            "disco_workerd_bytes_out_total", "Bytes written to coordinators",
+            "workerd", "bytes_out")) {}
+};
+
+DaemonMetrics& Metrics() {
+  static DaemonMetrics* m = new DaemonMetrics;
+  return *m;
+}
+
+// Signal flags, set by handlers and consumed by the poll loop (the
+// handlers are installed without SA_RESTART, so poll wakes with EINTR).
+volatile std::sig_atomic_t g_dump_requested = 0;
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void OnSigusr1(int) { g_dump_requested = 1; }
+void OnShutdownSignal(int) { g_shutdown_requested = 1; }
+
+// Counts whole wire frames inside a verbatim relay stream without
+// buffering it: accumulate the 21-byte header, read the payload length at
+// offset 13, skip that many bytes, repeat. Frames split across reads are
+// handled by carrying the state in the session.
+struct RelayTally {
+  std::string header;          // partial frame header bytes
+  std::uint64_t remaining = 0; // payload bytes left in the current frame
+
+  void Feed(const char* data, std::size_t n) {
+    while (n > 0) {
+      if (remaining > 0) {
+        const std::size_t skip =
+            static_cast<std::size_t>(std::min<std::uint64_t>(remaining, n));
+        data += skip;
+        n -= skip;
+        remaining -= skip;
+        continue;
+      }
+      const std::size_t want = 21 - header.size();
+      const std::size_t take = std::min(want, n);
+      header.append(data, take);
+      data += take;
+      n -= take;
+      if (header.size() < 21) return;
+      std::uint64_t len = 0;
+      for (int i = 0; i < 8; ++i) {
+        len |= static_cast<std::uint64_t>(
+                   static_cast<unsigned char>(header[13 + i]))
+               << (8 * i);
+      }
+      header.clear();
+      remaining = len;
+      Metrics().frames_relayed.Inc();
+    }
+  }
+};
 
 bool WriteAllFd(int fd, const char* data, std::size_t len) {
   while (len > 0) {
@@ -44,9 +125,12 @@ struct Session {
   int tcp_fd = -1;
   FrameBuffer frames;   // parsed only until the kSpawn frame arrives
   bool spawned = false;
+  bool tcp_eof = false;  // coordinator half-closed (graceful goodbye)
   pid_t child = -1;
   int child_in = -1;   // worker stdin (task frames)
   int child_out = -1;  // worker fd 3 (result frames)
+  RelayTally tally_in;   // frame counting, coordinator -> worker
+  RelayTally tally_out;  // frame counting, worker -> coordinator
 };
 
 void Teardown(Session* s) {
@@ -144,6 +228,8 @@ bool SpawnWorker(const std::vector<std::string>& argv_in,
   s->child_in = task_pipe[1];
   s->child_out = result_pipe[0];
   s->spawned = true;
+  Metrics().spawns.Inc();
+  obs::TracePoint("workerd.spawn");
   return true;
 }
 
@@ -213,6 +299,21 @@ int RunWorkerDaemon(const DaemonOptions& opts) {
   // relay path, not kill the daemon.
   std::signal(SIGPIPE, SIG_IGN);
 
+  // Register the daemon's series up front so a SIGUSR1 dump on an idle
+  // daemon shows the zeroed "[metrics] workerd:" line rather than nothing.
+  (void)Metrics();
+
+  // SIGUSR1 dumps the metrics registry; SIGTERM/SIGINT request a clean
+  // shutdown (metrics dump + trace flush via atexit). No SA_RESTART: the
+  // blocking poll must wake with EINTR so the loop notices the flag.
+  struct sigaction sa{};
+  sa.sa_handler = OnSigusr1;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGUSR1, &sa, nullptr);
+  sa.sa_handler = OnShutdownSignal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
   addrinfo hints{};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -266,12 +367,27 @@ int RunWorkerDaemon(const DaemonOptions& opts) {
 
   std::vector<Session> sessions;
   for (;;) {
+    if (g_dump_requested != 0) {
+      g_dump_requested = 0;
+      std::fputs(obs::Global().DumpText().c_str(), stderr);
+    }
+    if (g_shutdown_requested != 0) {
+      // Clean shutdown: kill and reap workers, dump the registry, flush
+      // the trace (registered atexit when --trace= configured it).
+      for (Session& s : sessions) Teardown(&s);
+      sessions.clear();
+      ::close(listen_fd);
+      std::fputs(obs::Global().DumpText().c_str(), stderr);
+      return 0;
+    }
     std::vector<pollfd> fds;
     fds.push_back({listen_fd, POLLIN, 0});
     // fds[1 + 2k] is session k's TCP side, fds[1 + 2k + 1] its worker
-    // output (negative fd entries are ignored by poll).
+    // output (negative fd entries are ignored by poll). A half-closed
+    // coordinator (tcp_eof) stops being polled — reading it would spin on
+    // the persistent EOF while its worker finishes its goodbye.
     for (Session& s : sessions) {
-      fds.push_back({s.tcp_fd, POLLIN, 0});
+      fds.push_back({s.tcp_eof ? -1 : s.tcp_fd, POLLIN, 0});
       fds.push_back({s.spawned ? s.child_out : -1, POLLIN, 0});
     }
     const int ready = ::poll(fds.data(), fds.size(), -1);
@@ -292,6 +408,9 @@ int RunWorkerDaemon(const DaemonOptions& opts) {
             EncodeFrame(static_cast<char>(FrameType::kHello),
                         kWireProtocolVersion, "disco_workerd");
         if (WriteAllFd(conn, hello.data(), hello.size())) {
+          Metrics().connections.Inc();
+          Metrics().bytes_out.Add(hello.size());
+          obs::TracePoint("workerd.accept");
           sessions.push_back(std::move(s));
         } else {
           ::close(conn);
@@ -312,8 +431,10 @@ int RunWorkerDaemon(const DaemonOptions& opts) {
         char chunk[65536];
         const ssize_t n = ::read(s.tcp_fd, chunk, sizeof chunk);
         if (n > 0) {
+          Metrics().bytes_in.Add(static_cast<std::uint64_t>(n));
           if (s.spawned) {
             // Relay verbatim: these are task frames for the worker.
+            s.tally_in.Feed(chunk, static_cast<std::size_t>(n));
             if (!WriteAllFd(s.child_in, chunk,
                             static_cast<std::size_t>(n))) {
               dead = true;  // worker gone; close so the coordinator retries
@@ -322,8 +443,23 @@ int RunWorkerDaemon(const DaemonOptions& opts) {
             s.frames.Append(chunk, static_cast<std::size_t>(n));
             if (!HandlePreSpawnBytes(&s)) dead = true;
           }
-        } else if (n == 0 || errno != EINTR) {
-          dead = true;  // coordinator closed or connection reset
+        } else if (n == 0) {
+          if (s.spawned) {
+            // Graceful goodbye: the coordinator half-closed after its run
+            // finished. Pass the EOF on as worker-stdin EOF — the worker
+            // answers with one kObs frame (trace sidecar + metrics) that
+            // still relays back over our open write side — and wait for
+            // the worker to exit before closing the connection.
+            if (s.child_in >= 0) {
+              ::close(s.child_in);
+              s.child_in = -1;
+            }
+            s.tcp_eof = true;
+          } else {
+            dead = true;  // coordinator left before spawning anything
+          }
+        } else if (errno != EINTR) {
+          dead = true;  // connection reset
         }
       }
 
@@ -333,8 +469,11 @@ int RunWorkerDaemon(const DaemonOptions& opts) {
         const ssize_t n = ::read(s.child_out, chunk, sizeof chunk);
         if (n > 0) {
           // Relay verbatim: result frames for the coordinator.
+          s.tally_out.Feed(chunk, static_cast<std::size_t>(n));
           if (!WriteAllFd(s.tcp_fd, chunk, static_cast<std::size_t>(n))) {
             dead = true;
+          } else {
+            Metrics().bytes_out.Add(static_cast<std::uint64_t>(n));
           }
         } else if (n == 0 || errno != EINTR) {
           // Worker exited (crash, SIGKILL, clean death). Closing the

@@ -16,11 +16,15 @@
 // Lifecycle: when the worker exits (task crash, SIGKILL, clean EOF
 // death), the daemon closes that connection — the coordinator sees the
 // loss, charges the in-flight task, and reconnects with backoff, at which
-// point the daemon spawns a fresh worker. When the coordinator closes the
-// connection (run finished, or it gave up), the daemon kills the worker
-// and reaps it. The daemon itself runs until killed; losing a daemon
-// mid-run only costs its in-flight tasks one retry each, on surviving
-// daemons.
+// point the daemon spawns a fresh worker. A coordinator that half-closes
+// (shutdown(SHUT_WR), the finished-run goodbye) gets the graceful path:
+// the daemon passes the EOF to the worker's stdin, relays the worker's
+// final kObs frame (trace sidecar path + metrics) back, and closes the
+// connection once the worker exits. A full close still kills the worker
+// outright. The daemon runs until killed; SIGUSR1 dumps its metrics
+// registry to stderr, SIGTERM/SIGINT shut it down cleanly (teardown,
+// metrics dump, trace flush). Losing a daemon mid-run only costs its
+// in-flight tasks one retry each, on surviving daemons.
 //
 // Trust model: the daemon execs whatever argv a connecting coordinator
 // sends. Run it only on hosts and networks where every peer may already

@@ -38,11 +38,22 @@
 #include "exec/net_daemon.h"
 #include "exec/task_scheduler.h"
 #include "exec/wire.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace disco::exec {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+obs::Counter& ReconnectCounter() {
+  static obs::Counter* c = &obs::Global().RegisterCounter(
+      "disco_exec_net_reconnects_total",
+      "Successful daemon (re)connections by the net backend", "exec net",
+      "reconnects");
+  return *c;
+}
 
 constexpr int kConnectTimeoutMs = 1000;  // per TCP connect attempt
 constexpr int kHelloTimeoutMs = 5000;    // daemon accept -> hello frame
@@ -264,6 +275,7 @@ RunResult NetExecutor::Run(std::size_t count, const TaskFn& fn,
     return RunResult{};
   }
 
+  DISCO_TRACE_SPAN("exec.run.net");
   std::vector<NetSlot> slots;
   TaskScheduler sched(count, max_retries_, straggler_ms_, results);
   if (hosts_.empty()) {
@@ -307,11 +319,14 @@ RunResult NetExecutor::Run(std::size_t count, const TaskFn& fn,
         sched.ReviveSlot(s.sched_slot);
         s.attempts_left = std::max(1, reconnects_);
         s.backoff_ms = std::max(1, backoff_ms_);
+        ReconnectCounter().Inc();
+        obs::Log(obs::LogLevel::kInfo, "[exec] connected to daemon %s:%d",
+                 s.host.c_str(), s.port);
       } else if (--s.attempts_left <= 0) {
         s.abandoned = true;
-        std::fprintf(stderr,
-                     "[exec] giving up on daemon %s:%d: %s\n",
-                     s.host.c_str(), s.port, why.c_str());
+        obs::Log(obs::LogLevel::kWarn,
+                 "[exec] giving up on daemon %s:%d: %s", s.host.c_str(),
+                 s.port, why.c_str());
       } else {
         s.retry_at = now + std::chrono::milliseconds(s.backoff_ms);
         s.backoff_ms = std::min(s.backoff_ms * 2,
@@ -425,8 +440,73 @@ RunResult NetExecutor::Run(std::size_t count, const TaskFn& fn,
     }
   }
 
-  // Done. Closing a connection makes its daemon kill and reap the worker
-  // (including one still computing a stale straggler duplicate).
+  // Done. A slot still running a stale straggler duplicate is closed
+  // outright — its daemon kills and reaps the worker. Idle slots get a
+  // half-close (SHUT_WR): the daemon turns that into worker-stdin EOF, the
+  // worker answers with one kObs frame (trace sidecar path on the daemon's
+  // machine + Prometheus metrics), and the daemon closes the connection
+  // after the worker exits. Drain those goodbyes with a bounded deadline
+  // so remote counters aggregate into this run's [metrics] dump.
+  for (NetSlot& s : slots) {
+    if (!s.connected) continue;
+    if (sched.task_of(s.sched_slot) != TaskScheduler::kNoTask) {
+      CloseSlot(&s);
+      continue;
+    }
+    ::shutdown(s.fd, SHUT_WR);
+  }
+  const Clock::time_point drain_deadline =
+      Clock::now() + std::chrono::seconds(5);
+  for (;;) {
+    std::vector<pollfd> fds;
+    std::vector<NetSlot*> polled;
+    for (NetSlot& s : slots) {
+      if (!s.connected) continue;
+      fds.push_back({s.fd, POLLIN, 0});
+      polled.push_back(&s);
+    }
+    if (fds.empty()) break;
+    const long long remaining_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(drain_deadline -
+                                                              Clock::now())
+            .count();
+    if (remaining_ms <= 0) break;
+    const int ready = ::poll(fds.data(), fds.size(),
+                             static_cast<int>(std::min<long long>(
+                                 remaining_ms, 200)));
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready < 0) break;
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      NetSlot* s = polled[i];
+      char chunk[65536];
+      const ssize_t n = ::read(s->fd, chunk, sizeof chunk);
+      if (n > 0) {
+        s->frames.Append(chunk, static_cast<std::size_t>(n));
+        for (;;) {
+          Frame f;
+          std::string parse_error;
+          const FrameBuffer::Status st = s->frames.Next(&f, &parse_error);
+          if (st == FrameBuffer::Status::kNeedMore) break;
+          if (st == FrameBuffer::Status::kMalformed) {
+            CloseSlot(s);  // run already succeeded; forfeit this slot's data
+            break;
+          }
+          if (f.type == static_cast<char>(FrameType::kObs)) {
+            std::string sidecar_path, metrics_text;
+            if (ParseObsPayload(f.payload, &sidecar_path, &metrics_text)) {
+              obs::RecordWorkerSidecar(sidecar_path);
+              obs::Global().MergeFromPrometheusText(metrics_text);
+              obs::Global().NoteMergedSource();
+            }
+          }
+          // Anything else is a stale straggler result: ignore it.
+        }
+      } else if (n == 0 || (n < 0 && errno != EINTR)) {
+        CloseSlot(s);
+      }
+    }
+  }
   for (NetSlot& s : slots) CloseSlot(&s);
   return RunResult{};
 }

@@ -24,7 +24,9 @@
 // backend; calls before the assigned job evaluate in-process (their
 // results may feed the assigned job's task function), the assigned job
 // reads kTask frames (exec/wire.h binary framing) from stdin, answers
-// with kResult/kTaskError frames on fd 3, and exits on stdin EOF. A
+// with kResult/kTaskError frames on fd 3, and exits on stdin EOF — after
+// shipping one kObs frame (trace sidecar path + metrics text) so the
+// driver can aggregate per-process observability. A
 // request it cannot honor — malformed frame, out-of-range index — is
 // answered with a kProtocolError frame, which the driver treats as a
 // run-level failure: a protocol error is attributable to no task, so it
@@ -49,6 +51,8 @@
 #include "exec/exec_internal.h"
 #include "exec/task_scheduler.h"
 #include "exec/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 extern char** environ;
 
@@ -109,6 +113,7 @@ bool WriteFrame(int fd, FrameType type, std::uint64_t index,
       }
       std::string payload;
       FrameType type = FrameType::kResult;
+      obs::Span task_span("exec.task");
       try {
         payload = fn(static_cast<std::size_t>(f.index));
       } catch (const std::exception& e) {
@@ -127,6 +132,15 @@ bool WriteFrame(int fd, FrameType type, std::uint64_t index,
     if (n <= 0) break;  // driver closed our stdin: done
     frames.Append(chunk, static_cast<std::size_t>(n));
   }
+  // Clean shutdown: ship observability home before exiting. The trace
+  // sidecar path is empty when tracing is off; metrics always travel so
+  // the driver's [metrics] dump aggregates every worker's counters. A
+  // driver from before kObs existed has closed our stdin and may close the
+  // result pipe too — a failed write here is fine.
+  const std::string sidecar = obs::FlushTrace();
+  WriteFrame(kResultFd, FrameType::kObs,
+             static_cast<std::uint64_t>(::getpid()),
+             EncodeObsPayload(sidecar, obs::Global().PrometheusText()));
   std::exit(0);
 }
 
@@ -314,6 +328,7 @@ RunResult ProcessExecutor::Run(std::size_t count, const TaskFn& fn,
     results->clear();
     return RunResult{};
   }
+  DISCO_TRACE_SPAN("exec.run.procs");
 
   // A dead worker's write end must raise EPIPE, not a process-killing
   // SIGPIPE — but only while this Run is scheduling. The previous
@@ -420,14 +435,83 @@ RunResult ProcessExecutor::Run(std::size_t count, const TaskFn& fn,
     }
   }
 
-  // Done. Idle workers exit on stdin EOF; workers still computing a stale
-  // duplicate would block completion, so kill the stragglers outright —
-  // tasks are pure, nothing is lost.
+  // Done. Workers still computing a stale duplicate would block
+  // completion, so kill those outright — tasks are pure, nothing is lost.
+  // Idle workers get a clean stdin EOF and answer with one kObs frame
+  // (trace sidecar path + Prometheus metrics) before exiting; drain those
+  // so per-process counters aggregate and trace sidecars merge. The drain
+  // is bounded — a worker dawdling past the deadline is killed like a
+  // straggler, costing only its observability data.
   for (Worker& w : workers) {
     if (!w.alive) continue;
     if (sched.task_of(w.slot) != TaskScheduler::kNoTask && w.pid > 0) {
       ::kill(w.pid, SIGKILL);
+      ReapWorker(&w);
+      continue;
     }
+    if (w.task_fd >= 0) {
+      ::close(w.task_fd);
+      w.task_fd = -1;
+    }
+  }
+  const Clock::time_point drain_deadline =
+      Clock::now() + std::chrono::seconds(5);
+  for (;;) {
+    std::vector<pollfd> fds;
+    std::vector<Worker*> polled;
+    for (Worker& w : workers) {
+      if (!w.alive) continue;
+      fds.push_back({w.result_fd, POLLIN, 0});
+      polled.push_back(&w);
+    }
+    if (fds.empty()) break;
+    const long long remaining_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(drain_deadline -
+                                                              Clock::now())
+            .count();
+    if (remaining_ms <= 0) break;
+    const int ready = ::poll(fds.data(), fds.size(),
+                             static_cast<int>(std::min<long long>(
+                                 remaining_ms, 200)));
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready < 0) break;
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Worker* w = polled[i];
+      char chunk[65536];
+      const ssize_t n = ::read(w->result_fd, chunk, sizeof chunk);
+      if (n > 0) {
+        w->frames.Append(chunk, static_cast<std::size_t>(n));
+        for (;;) {
+          Frame f;
+          std::string parse_error;
+          const FrameBuffer::Status st = w->frames.Next(&f, &parse_error);
+          if (st == FrameBuffer::Status::kNeedMore) break;
+          if (st == FrameBuffer::Status::kMalformed) {
+            // The run already succeeded; a desynced goodbye only forfeits
+            // this worker's observability data.
+            if (w->pid > 0) ::kill(w->pid, SIGKILL);
+            ReapWorker(w);
+            break;
+          }
+          if (f.type == static_cast<char>(FrameType::kObs)) {
+            std::string sidecar_path, metrics_text;
+            if (ParseObsPayload(f.payload, &sidecar_path, &metrics_text)) {
+              obs::RecordWorkerSidecar(sidecar_path);
+              obs::Global().MergeFromPrometheusText(metrics_text);
+              obs::Global().NoteMergedSource();
+            }
+          }
+          // Anything else is a stale straggler result: ignore it.
+        }
+      } else if (n == 0 || (n < 0 && errno != EINTR)) {
+        ReapWorker(w);
+      }
+    }
+  }
+  for (Worker& w : workers) {
+    if (!w.alive) continue;
+    if (w.pid > 0) ::kill(w.pid, SIGKILL);
     ReapWorker(&w);
   }
   return RunResult{};

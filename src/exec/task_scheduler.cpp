@@ -1,6 +1,43 @@
 #include "exec/task_scheduler.h"
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+
 namespace disco::exec {
+
+namespace {
+
+// Scheduling decision counters, registered once and shared by every
+// TaskScheduler instance (procs and net transports alike). These surface
+// in the driver's "[metrics] exec tasks:" dump line and its Prometheus
+// exposition.
+struct ExecMetrics {
+  obs::Counter& dispatched;
+  obs::Counter& retries;
+  obs::Counter& straggler_dupes;
+  obs::Counter& slot_deaths;
+
+  ExecMetrics()
+      : dispatched(obs::Global().RegisterCounter(
+            "disco_exec_tasks_total", "Executor scheduling decisions",
+            "exec tasks", "dispatched", {{"event", "dispatched"}})),
+        retries(obs::Global().RegisterCounter(
+            "disco_exec_tasks_total", "Executor scheduling decisions",
+            "exec tasks", "retries", {{"event", "retried"}})),
+        straggler_dupes(obs::Global().RegisterCounter(
+            "disco_exec_tasks_total", "Executor scheduling decisions",
+            "exec tasks", "straggler_dupes", {{"event", "straggler_dupe"}})),
+        slot_deaths(obs::Global().RegisterCounter(
+            "disco_exec_tasks_total", "Executor scheduling decisions",
+            "exec tasks", "slot_deaths", {{"event", "slot_death"}})) {}
+};
+
+ExecMetrics& Metrics() {
+  static ExecMetrics* m = new ExecMetrics;
+  return *m;
+}
+
+}  // namespace
 
 TaskScheduler::TaskScheduler(std::size_t count, int max_retries,
                              int straggler_ms,
@@ -43,6 +80,9 @@ std::size_t TaskScheduler::NextTask(std::size_t slot,
     s.task = task;
     s.since = now;
     tasks_[task].inflight++;
+    Metrics().dispatched.Inc();
+    obs::Log(obs::LogLevel::kDebug, "[exec] slot %zu <- task %zu", slot,
+             task);
     return task;
   }
   if (straggler_ms_ <= 0) return kNoTask;
@@ -66,6 +106,10 @@ std::size_t TaskScheduler::NextTask(std::size_t slot,
   s.task = task;
   s.since = now;
   tasks_[task].inflight++;
+  Metrics().straggler_dupes.Inc();
+  obs::Log(obs::LogLevel::kInfo,
+           "[exec] straggler: duplicating task %zu onto slot %zu", task,
+           slot);
   return task;
 }
 
@@ -78,6 +122,10 @@ bool TaskScheduler::AttemptFailed(std::size_t task, const std::string& why) {
                     " attempt(s): " + why);
   }
   if (tasks_[task].inflight == 0) pending_.push_back(task);
+  Metrics().retries.Inc();
+  obs::Log(obs::LogLevel::kInfo,
+           "[exec] retrying task %zu (attempt %d): %s", task,
+           tasks_[task].failures + 1, why.c_str());
   return true;
 }
 
@@ -142,6 +190,9 @@ bool TaskScheduler::OnSlotDeath(std::size_t slot, const std::string& why) {
   if (!s.alive) return true;
   s.alive = false;
   --live_slots_;
+  Metrics().slot_deaths.Inc();
+  obs::Log(obs::LogLevel::kInfo, "[exec] slot %zu died: %s", slot,
+           why.c_str());
   const std::size_t task = s.task;
   s.task = kNoTask;
   if (task == kNoTask) return true;

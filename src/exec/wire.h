@@ -171,6 +171,12 @@ enum class FrameType : char {
                  // EncodeSpawnPayload (argv + env assignments)
   kHello = 'H',  // daemon -> coordinator, on accept: index carries
                  // kWireProtocolVersion
+  kObs = 'O',    // worker -> driver, once at clean shutdown (stdin EOF):
+                 // index carries the worker pid; payload is
+                 // EncodeObsPayload (trace sidecar path + Prometheus
+                 // metrics text). Optional: a driver that is done reading
+                 // may close the stream first, and a worker from before
+                 // this frame existed simply never sends it
 };
 
 struct Frame {
@@ -214,7 +220,8 @@ class FrameBuffer {
         type != static_cast<char>(FrameType::kTaskError) &&
         type != static_cast<char>(FrameType::kProtocolError) &&
         type != static_cast<char>(FrameType::kSpawn) &&
-        type != static_cast<char>(FrameType::kHello)) {
+        type != static_cast<char>(FrameType::kHello) &&
+        type != static_cast<char>(FrameType::kObs)) {
       *error = std::string("unknown frame type '") + type + "'";
       return Status::kMalformed;
     }
@@ -290,6 +297,24 @@ inline bool ParseSpawnPayload(const std::string& buf,
     env->push_back(std::move(s));
   }
   return !argv->empty();
+}
+
+/// kObs payload: the worker's trace sidecar path ("" when tracing was off)
+/// and its metrics registry in Prometheus text exposition, shipped once at
+/// clean worker shutdown so the coordinator can aggregate per-process
+/// counters and merge trace timelines.
+inline std::string EncodeObsPayload(const std::string& sidecar_path,
+                                    const std::string& metrics_text) {
+  std::string out;
+  PutString(&out, sidecar_path);
+  PutString(&out, metrics_text);
+  return out;
+}
+
+inline bool ParseObsPayload(const std::string& buf, std::string* sidecar_path,
+                            std::string* metrics_text) {
+  WireReader r(buf);
+  return r.GetString(sidecar_path) && r.GetString(metrics_text);
 }
 
 }  // namespace disco::exec

@@ -8,6 +8,7 @@
 
 #include "graph/components.h"
 #include "graph/io.h"
+#include "obs/trace.h"
 #include "runtime/parallel_for.h"
 #include "runtime/rng_stream.h"
 #include "util/rng.h"
@@ -31,11 +32,12 @@ constexpr std::size_t kGenGrain = 8192;
 // and copying it through FromEdges — at a million nodes the discarded
 // intermediate was as large as the graph itself. Emission order is
 // unchanged, so EdgeIds and fingerprints are too.
-void CountGenerated() { ++GraphLoadCounters().generated; }
+void CountGenerated() { GraphLoadCounters().generated.Inc(); }
 
 }  // namespace
 
 Graph Gnm(NodeId n, std::size_t m, std::uint64_t seed) {
+  DISCO_TRACE_SPAN("graph.generate");
   assert(n >= 2);
   const std::uint64_t max_edges =
       static_cast<std::uint64_t>(n) * (n - 1) / 2;
@@ -98,6 +100,7 @@ Graph ConnectedGnm(NodeId n, std::size_t m, std::uint64_t seed) {
 
 Graph RandomGeometric(NodeId n, double target_avg_degree,
                       std::uint64_t seed) {
+  DISCO_TRACE_SPAN("graph.generate");
   assert(n >= 2);
   // Coordinates: each fixed chunk of the node range draws from its own
   // stream, so placement is reproducible at any thread count. Chunk 0
@@ -177,6 +180,7 @@ Graph ConnectedGeometric(NodeId n, double target_avg_degree,
 }
 
 Graph BarabasiAlbert(NodeId n, int m_per_node, std::uint64_t seed) {
+  DISCO_TRACE_SPAN("graph.generate");
   assert(n >= 2);
   assert(m_per_node >= 1);
   Rng rng(seed);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/bytes.h"
 #include "util/sha256.h"
 
@@ -19,9 +20,23 @@
 
 namespace disco {
 
+GraphLoadStats::GraphLoadStats()
+    : generated(obs::Global().RegisterCounter(
+          "disco_graph_loads_total",
+          "Graphs obtained by this process, by provenance.",
+          "graph sources", "generated", {{"source", "generated"}})),
+      mmap_loads(obs::Global().RegisterCounter(
+          "disco_graph_loads_total",
+          "Graphs obtained by this process, by provenance.",
+          "graph sources", "mmap", {{"source", "mmap"}})),
+      decode_loads(obs::Global().RegisterCounter(
+          "disco_graph_loads_total",
+          "Graphs obtained by this process, by provenance.",
+          "graph sources", "decode", {{"source", "decode"}})) {}
+
 GraphLoadStats& GraphLoadCounters() {
-  static GraphLoadStats stats;
-  return stats;
+  static GraphLoadStats* stats = new GraphLoadStats();
+  return *stats;
 }
 
 std::optional<Graph> LoadEdgeList(const std::string& path) {
@@ -154,7 +169,7 @@ std::optional<Graph> LoadV1SnapshotBytes(Span<const char> bytes) {
     if (ea >= n || eb >= n || !(w > 0)) return std::nullopt;
     b.Add(ea, eb, w);
   }
-  ++GraphLoadCounters().decode_loads;
+  GraphLoadCounters().decode_loads.Inc();
   return std::move(b).Build();
 }
 
@@ -335,6 +350,7 @@ std::string GraphSnapshotBytes(const Graph& g) {
 
 std::optional<Graph> LoadGraphSnapshotBytes(Span<const char> bytes) {
   if (LooksLikeV2(bytes)) {
+    DISCO_TRACE_SPAN("graph.decode");
     // Owned load of a v2 buffer: one aligned copy of the bytes, then the
     // same zero-copy view over our own copy. (vector's heap block is
     // always 8-byte aligned; the caller's buffer may not be.)
@@ -343,7 +359,7 @@ std::optional<Graph> LoadGraphSnapshotBytes(Span<const char> bytes) {
     const Span<const char> view(copy->data(), copy->size());
     std::optional<Graph> g =
         ViewV2(copy, view, /*verify_section_hashes=*/true);
-    if (g) ++GraphLoadCounters().decode_loads;
+    if (g) GraphLoadCounters().decode_loads.Inc();
     return g;
   }
   if (bytes.size() >= sizeof kSnapshotMagicV1 &&
@@ -361,13 +377,14 @@ std::optional<Graph> LoadGraphSnapshotBytes(const std::string& bytes) {
 std::optional<Graph> ViewGraphSnapshot(std::shared_ptr<const void> backing,
                                        Span<const char> bytes) {
   if (LooksLikeV2(bytes) && Aligned8(bytes.data())) {
+    DISCO_TRACE_SPAN("graph.mmap");
     // Views skip the per-section SHA-256 pass: hashing every byte would
     // fault in the whole mapping at ~SHA speed, defeating the point of
     // an out-of-core view. The header hash and the structural scan still
     // run; use LoadGraphSnapshotBytes for full cryptographic checking.
     std::optional<Graph> g =
         ViewV2(std::move(backing), bytes, /*verify_section_hashes=*/false);
-    if (g) ++GraphLoadCounters().mmap_loads;
+    if (g) GraphLoadCounters().mmap_loads.Inc();
     return g;
   }
   // v1 bytes, or a base the typed views cannot legally alias: decode into

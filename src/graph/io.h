@@ -35,13 +35,13 @@
 // keep working.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "util/span.h"
 
 namespace disco {
@@ -92,16 +92,18 @@ std::optional<Graph> ViewGraphSnapshot(std::shared_ptr<const void> backing,
 bool SaveGraphSnapshot(const Graph& g, const std::string& path);
 std::optional<Graph> LoadGraphSnapshot(const std::string& path);
 
-/// Process-wide graph provenance counters, mirroring store::Counters():
-/// how many graphs this process generated from scratch, loaded zero-copy
-/// from a mapped snapshot, and rebuilt by decoding snapshot bytes. The
-/// bench harness prints them to stderr at exit on --store= runs, which is
-/// how fig09 --xl's warm path proves it did zero generator work (the
+/// Process-wide graph provenance counters, registered in the unified
+/// metrics registry (the "[metrics] graph sources:" dump line): how many
+/// graphs this process generated from scratch, loaded zero-copy from a
+/// mapped snapshot, and rebuilt by decoding snapshot bytes. The bench
+/// harness prints them to stderr at exit on --store= runs, which is how
+/// fig09 --xl's warm path proves it did zero generator work (the
 /// graph-tier analogue of the store smoke's dijkstra=0 check).
 struct GraphLoadStats {
-  std::atomic<std::uint64_t> generated{0};
-  std::atomic<std::uint64_t> mmap_loads{0};
-  std::atomic<std::uint64_t> decode_loads{0};
+  obs::Counter& generated;
+  obs::Counter& mmap_loads;
+  obs::Counter& decode_loads;
+  GraphLoadStats();
 };
 GraphLoadStats& GraphLoadCounters();
 

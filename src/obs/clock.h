@@ -1,0 +1,23 @@
+#ifndef DISCO_OBS_CLOCK_H_
+#define DISCO_OBS_CLOCK_H_
+
+#include <cstdint>
+
+namespace disco {
+namespace obs {
+
+// Monotonic nanosecond clock used by the tracer. Observability-only: the
+// values feed trace timestamps and never influence simulation results, so
+// wall-clock reads stay confined to src/obs/.
+std::uint64_t NowNs();
+
+// Injects a deterministic clock for tests. Pass nullptr to restore the
+// real monotonic clock. Not thread-safe against concurrent NowNs callers;
+// install before spawning traced threads.
+using ClockFn = std::uint64_t (*)();
+void SetClockForTest(ClockFn fn);
+
+}  // namespace obs
+}  // namespace disco
+
+#endif  // DISCO_OBS_CLOCK_H_

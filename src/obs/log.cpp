@@ -1,0 +1,73 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace disco {
+namespace obs {
+
+namespace {
+
+// -1 = unparsed; else a LogLevel value. Atomic because the first log call
+// can come from any thread; a double parse is harmless (same env, same
+// result).
+std::atomic<int> g_threshold{-1};
+
+int ParseThreshold() {
+  const char* env = std::getenv("DISCO_LOG");
+  if (env == nullptr || *env == '\0') return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(env, "error") == 0) return static_cast<int>(LogLevel::kError);
+  if (std::strcmp(env, "warn") == 0) return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(env, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(env, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+  std::fprintf(stderr, "[warn] unknown DISCO_LOG level '%s' (want error|warn|info|debug)\n",
+               env);
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+const char* Prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "[error] ";
+    case LogLevel::kWarn:
+      return "[warn] ";
+    case LogLevel::kInfo:
+      return "[info] ";
+    case LogLevel::kDebug:
+      return "[debug] ";
+  }
+  return "[?] ";
+}
+
+}  // namespace
+
+bool LogEnabled(LogLevel level) {
+  int threshold = g_threshold.load(std::memory_order_acquire);
+  if (threshold < 0) {
+    threshold = ParseThreshold();
+    g_threshold.store(threshold, std::memory_order_release);
+  }
+  return static_cast<int>(level) <= threshold;
+}
+
+void Log(LogLevel level, const char* fmt, ...) {
+  if (!LogEnabled(level)) return;
+  // Render into one buffer and emit with a single fprintf so concurrent
+  // threads do not interleave prefix/body/newline.
+  std::va_list args;
+  va_start(args, fmt);
+  char body[1024];
+  std::vsnprintf(body, sizeof body, fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "%s%s\n", Prefix(level), body);
+}
+
+void ResetLogLevelForTest() {
+  g_threshold.store(-1, std::memory_order_release);
+}
+
+}  // namespace obs
+}  // namespace disco

@@ -1,0 +1,61 @@
+#ifndef DISCO_OBS_TRACEFILE_H_
+#define DISCO_OBS_TRACEFILE_H_
+
+// Chrome trace_event file model: render, parse, validate, merge,
+// summarize. Shared by the in-process tracer's flush path and the
+// disco_tracecat CLI. The JSON renderer is hand-rolled and byte-stable
+// (one event per line, fixed field order, timestamps as "<us>.<ns%1000/...>"
+// fixed-point strings) so fixed-clock tests can compare whole files and
+// repeated flushes of the same events are identical bytes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace disco {
+namespace obs {
+
+struct TraceEvent {
+  std::string name;
+  char phase = 'B';  // 'B' begin, 'E' end, 'i' instant
+  std::uint64_t ts_ns = 0;
+  std::uint64_t pid = 0;
+  std::uint64_t tid = 0;
+};
+
+struct TraceDoc {
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;  // ring-buffer overflow casualties
+};
+
+// Renders {"displayTimeUnit":"ms","otherData":{"droppedEvents":"N"},
+// "traceEvents":[...]} — catapult/Perfetto-loadable and parseable by
+// util/json. Timestamps are microseconds with 3 fixed decimals.
+std::string TraceJson(const TraceDoc& doc);
+
+// Parses a trace JSON produced by TraceJson (or any Chrome trace with a
+// traceEvents array of B/E/i events). Returns false with a message in
+// *error on malformed input; unknown phases and extra fields are ignored.
+bool ParseTraceJson(const std::string& text, TraceDoc* out,
+                    std::string* error);
+
+// Checks that B/E events nest per (pid,tid): every E matches the name of
+// the innermost open B on its thread. Spans left open at the end of the
+// file are allowed (a process may be killed mid-span). Returns false with
+// a message in *error on the first violation.
+bool ValidateTrace(const TraceDoc& doc, std::string* error);
+
+// Concatenates and time-orders docs into one timeline (stable sort by
+// ts_ns, so each thread's program order survives ties); dropped counts
+// sum.
+TraceDoc MergeTraceDocs(const std::vector<TraceDoc>& docs);
+
+// Per-span-name table: "name count total_ms p95_ms" rows sorted by name,
+// computed from matched B/E pairs (unmatched spans are skipped). Includes
+// a header row and a trailing dropped-events line when nonzero.
+std::string SummarizeTrace(const TraceDoc& doc);
+
+}  // namespace obs
+}  // namespace disco
+
+#endif  // DISCO_OBS_TRACEFILE_H_

@@ -8,6 +8,7 @@
 #include <cstdlib>
 
 #include "graph/io.h"
+#include "obs/trace.h"
 #include "runtime/parallel_for.h"
 #include "store/tree_codec.h"
 #include "util/sha256.h"
@@ -61,6 +62,7 @@ std::shared_ptr<const ShortestPathTree> LandmarkTreeCache::LoadOrCompute(
     NodeId l) {
   if (store_ != nullptr) {
     if (const auto reader = store_->Open(KeyFor(l))) {
+      DISCO_TRACE_SPAN("store.decode");
       auto tree = std::make_shared<ShortestPathTree>();
       // The root check closes the last unvalidated field: a valid tree of
       // this graph but another root (misfiled object) must read as a
@@ -70,23 +72,26 @@ std::shared_ptr<const ShortestPathTree> LandmarkTreeCache::LoadOrCompute(
                             reader->frame(0).size(), tree.get()) &&
           tree->source == l) {
         store_hits_.fetch_add(1, std::memory_order_relaxed);
-        store::Counters().tree_store_hits.fetch_add(
-            1, std::memory_order_relaxed);
+        store::Counters().tree_store_hits.Inc();
         return tree;
       }
       // Structurally invalid for this graph (or torn): fall through and
       // recompute; the write-back below republishes a good object.
     }
   }
-  auto tree = std::make_shared<const ShortestPathTree>(Dijkstra(g_, l));
+  std::shared_ptr<const ShortestPathTree> tree;
+  {
+    DISCO_TRACE_SPAN("store.dijkstra");
+    tree = std::make_shared<const ShortestPathTree>(Dijkstra(g_, l));
+  }
   dijkstras_.fetch_add(1, std::memory_order_relaxed);
-  store::Counters().tree_dijkstras.fetch_add(1, std::memory_order_relaxed);
+  store::Counters().tree_dijkstras.Inc();
   if (store_ != nullptr) {
+    DISCO_TRACE_SPAN("store.writeback");
     const std::string frame = store::EncodeTree(g_, *tree);
     if (!frame.empty() && store_->Put(KeyFor(l), {frame})) {
       writebacks_.fetch_add(1, std::memory_order_relaxed);
-      store::Counters().tree_writebacks.fetch_add(1,
-                                                  std::memory_order_relaxed);
+      store::Counters().tree_writebacks.Inc();
     }
   }
   return tree;
@@ -100,8 +105,7 @@ std::shared_ptr<const ShortestPathTree> LandmarkTreeCache::Tree(NodeId l) {
     if (it != cache_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
       ram_hits_.fetch_add(1, std::memory_order_relaxed);
-      store::Counters().tree_ram_hits.fetch_add(1,
-                                                std::memory_order_relaxed);
+      store::Counters().tree_ram_hits.Inc();
       return it->second.tree;
     }
   }

@@ -2,9 +2,23 @@
 
 namespace disco::serve {
 
+ServeCounters::ServeCounters()
+    : queries(obs::Global().RegisterCounter(
+          "disco_serve_queries_total",
+          "Route queries completed (success or failure)", "serve",
+          "queries")),
+      failures(obs::Global().RegisterCounter(
+          "disco_serve_query_failures_total",
+          "Route queries that failed (empty path or departed destination)",
+          "serve", "failures")),
+      active_workers(obs::Global().RegisterGauge(
+          "disco_serve_active_workers",
+          "Serving threads currently inside their query loop", "serve",
+          "active_workers")) {}
+
 ServeCounters& Counters() {
-  static ServeCounters counters;
-  return counters;
+  static ServeCounters* counters = new ServeCounters;
+  return *counters;
 }
 
 }  // namespace disco::serve

@@ -1,36 +1,37 @@
-// Live counters for the serve path, after the Prometheus-gauge idiom:
-// cheap relaxed atomics the serving threads bump per event, readable at
-// any moment by an observer (the disco_serve --progress reporter) without
-// stopping the measurement. Nothing here participates in results — the
+// Live counters for the serve path, now registered in the unified
+// obs::MetricsRegistry (PR 10): cheap atomics the serving threads bump per
+// event, readable at any moment by an observer (the disco_serve --progress
+// reporter) without stopping the measurement, and exported through the
+// registry's Prometheus exposition / "[metrics]" dump alongside every
+// other subsystem. Nothing here participates in results — the
 // authoritative per-query numbers come from the per-thread histograms and
-// per-stream tallies — so relaxed ordering and mid-run reads are fine.
-// disco-lint: allow-file(relaxed-atomic): observability gauges only; the
-// authoritative results come from per-thread tallies merged after join.
+// per-stream tallies — so mid-run reads are fine.
 #pragma once
 
-#include <atomic>
-#include <cstdint>
+#include "obs/metrics.h"
 
 namespace disco::serve {
 
 struct ServeCounters {
   /// Queries completed (success or failure), monotone.
-  std::atomic<std::uint64_t> queries{0};
+  obs::Counter& queries;
   /// Queries whose route failed (empty path, or a destination departed
   /// during a churn phase), monotone.
-  std::atomic<std::uint64_t> failures{0};
+  obs::Counter& failures;
   /// Serving threads currently inside their closed loop (gauge).
-  std::atomic<std::int64_t> active_workers{0};
+  obs::Gauge& active_workers;
+
+  ServeCounters();
 
   void RecordQuery(bool failed) {
-    queries.fetch_add(1, std::memory_order_relaxed);
-    if (failed) failures.fetch_add(1, std::memory_order_relaxed);
+    queries.Inc();
+    if (failed) failures.Inc();
   }
 
   void Reset() {
-    queries.store(0, std::memory_order_relaxed);
-    failures.store(0, std::memory_order_relaxed);
-    active_workers.store(0, std::memory_order_relaxed);
+    queries.Set(0);
+    failures.Set(0);
+    active_workers.Set(0);
   }
 };
 

@@ -1,14 +1,15 @@
 #include "serve/server.h"
 
-// disco-lint: allow-file(relaxed-atomic): progress-reporter gauges and its
-// stop flag only — eventual visibility suffices for both, and the worker
-// join (not these atomics) orders every result the run emits.
+// disco-lint: allow-file(relaxed-atomic): the progress reporter's stop
+// flag only — eventual visibility suffices, and the worker join (not this
+// atomic) orders every result the run emits.
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <thread>
 
+#include "obs/trace.h"
 #include "serve/counters.h"
 
 namespace disco::serve {
@@ -48,7 +49,8 @@ ServeResult ServeWorkload(const RouteFn& route, const Workload& w,
   std::atomic<bool> done{false};
 
   const auto worker = [&](int t) {
-    live.active_workers.fetch_add(1, std::memory_order_relaxed);
+    live.active_workers.Inc();
+    DISCO_TRACE_SPAN("serve.workload");
     LatencyHistogram& hist = histograms[static_cast<std::size_t>(t)];
     for (std::size_t s = static_cast<std::size_t>(t); s < num_streams;
          s += static_cast<std::size_t>(threads)) {
@@ -74,7 +76,7 @@ ServeResult ServeWorkload(const RouteFn& route, const Workload& w,
       result.stream_served[s] = served;
       result.stream_failures[s] = failed;
     }
-    live.active_workers.fetch_sub(1, std::memory_order_relaxed);
+    live.active_workers.Dec();
   };
 
   std::thread reporter;
@@ -84,12 +86,9 @@ ServeResult ServeWorkload(const RouteFn& route, const Workload& w,
         std::this_thread::sleep_for(std::chrono::milliseconds(500));
         std::fprintf(
             stderr, "[serve] served=%llu failures=%llu workers=%lld\n",
-            static_cast<unsigned long long>(
-                live.queries.load(std::memory_order_relaxed)),
-            static_cast<unsigned long long>(
-                live.failures.load(std::memory_order_relaxed)),
-            static_cast<long long>(
-                live.active_workers.load(std::memory_order_relaxed)));
+            static_cast<unsigned long long>(live.queries.Value()),
+            static_cast<unsigned long long>(live.failures.Value()),
+            static_cast<long long>(live.active_workers.Value()));
       }
     });
   }

@@ -398,15 +398,33 @@ ArtifactStore* ProcessStore() {
 void CloseProcessStoreForTest() {
   std::lock_guard<std::mutex> lock(g_process_store_mu);
   g_process_store.reset();
-  Counters().tree_ram_hits = 0;
-  Counters().tree_store_hits = 0;
-  Counters().tree_dijkstras = 0;
-  Counters().tree_writebacks = 0;
+  Counters().tree_ram_hits.Set(0);
+  Counters().tree_store_hits.Set(0);
+  Counters().tree_dijkstras.Set(0);
+  Counters().tree_writebacks.Set(0);
 }
 
+StoreCounters::StoreCounters()
+    : tree_ram_hits(obs::Global().RegisterCounter(
+          "disco_store_tree_ram_hits_total",
+          "Landmark trees served from the in-RAM cache tier", "store trees",
+          "ram")),
+      tree_store_hits(obs::Global().RegisterCounter(
+          "disco_store_tree_store_hits_total",
+          "Landmark trees decoded from on-disk store artifacts",
+          "store trees", "disk")),
+      tree_dijkstras(obs::Global().RegisterCounter(
+          "disco_store_tree_dijkstras_total",
+          "Landmark trees rebuilt by running Dijkstra", "store trees",
+          "dijkstra")),
+      tree_writebacks(obs::Global().RegisterCounter(
+          "disco_store_tree_writebacks_total",
+          "Freshly built landmark trees published back to the store",
+          "store trees", "writeback")) {}
+
 StoreCounters& Counters() {
-  static StoreCounters counters;
-  return counters;
+  static StoreCounters* counters = new StoreCounters;
+  return *counters;
 }
 
 }  // namespace disco::store

@@ -31,13 +31,13 @@
 //   index.log                     advisory "id \t kind \t key \t bytes"
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <ctime>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/span.h"
 
 namespace disco::store {
@@ -169,12 +169,15 @@ ArtifactStore* ProcessStore();
 /// Tests only: drops the process store and zeroes the counters.
 void CloseProcessStoreForTest();
 
-/// Process-wide tier counters (bench harnesses print them at exit).
+/// Process-wide tier counters, registered in the unified metrics registry
+/// (bench harnesses print them at exit via obs::MetricsRegistry::DumpText;
+/// the "[metrics] store trees:" line).
 struct StoreCounters {
-  std::atomic<std::uint64_t> tree_ram_hits{0};
-  std::atomic<std::uint64_t> tree_store_hits{0};
-  std::atomic<std::uint64_t> tree_dijkstras{0};
-  std::atomic<std::uint64_t> tree_writebacks{0};
+  obs::Counter& tree_ram_hits;
+  obs::Counter& tree_store_hits;
+  obs::Counter& tree_dijkstras;
+  obs::Counter& tree_writebacks;
+  StoreCounters();
 };
 StoreCounters& Counters();
 

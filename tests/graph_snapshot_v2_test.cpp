@@ -66,10 +66,10 @@ TEST(SnapshotV2, OwnedDecodeMatchesOriginal) {
   const Graph g = TestGraph();
   EXPECT_FALSE(g.borrowed());
   const std::string bytes = GraphSnapshotBytes(g);
-  const std::uint64_t before = GraphLoadCounters().decode_loads.load();
+  const std::uint64_t before = GraphLoadCounters().decode_loads.Value();
   const auto loaded = LoadGraphSnapshotBytes(bytes);
   ASSERT_TRUE(loaded.has_value());
-  EXPECT_EQ(GraphLoadCounters().decode_loads.load(), before + 1);
+  EXPECT_EQ(GraphLoadCounters().decode_loads.Value(), before + 1);
   ExpectSameGraph(g, *loaded);
 }
 
@@ -77,12 +77,12 @@ TEST(SnapshotV2, BorrowedFileViewMatchesOriginal) {
   const Graph g = TestGraph();
   const std::string path = testing::TempDir() + "/snap_v2_view.bin";
   ASSERT_TRUE(SaveGraphSnapshot(g, path));
-  const std::uint64_t before = GraphLoadCounters().mmap_loads.load();
+  const std::uint64_t before = GraphLoadCounters().mmap_loads.Value();
   const auto view = LoadGraphSnapshot(path);
   std::remove(path.c_str());
   ASSERT_TRUE(view.has_value());
   EXPECT_TRUE(view->borrowed());
-  EXPECT_EQ(GraphLoadCounters().mmap_loads.load(), before + 1);
+  EXPECT_EQ(GraphLoadCounters().mmap_loads.Value(), before + 1);
   ExpectSameGraph(g, *view);
 
   // Dijkstra over the view must be bit-identical — same dist doubles,
@@ -267,11 +267,11 @@ TEST(SnapshotV1, LegacySnapshotsStillLoad) {
   const std::vector<WeightedEdge> edges = {
       {0, 1, 1.0}, {1, 2, 2.5}, {2, 3, 0.75}, {3, 0, 1.0}, {0, 2, 4.0}};
   const Graph expect = Graph::FromEdges(4, edges);
-  const std::uint64_t before = GraphLoadCounters().decode_loads.load();
+  const std::uint64_t before = GraphLoadCounters().decode_loads.Value();
   const auto loaded = LoadGraphSnapshotBytes(V1Bytes(4, edges));
   ASSERT_TRUE(loaded.has_value());
   EXPECT_FALSE(loaded->borrowed());
-  EXPECT_EQ(GraphLoadCounters().decode_loads.load(), before + 1);
+  EXPECT_EQ(GraphLoadCounters().decode_loads.Value(), before + 1);
   ExpectSameGraph(expect, *loaded);
   // And the fingerprint is container-independent: v1 bytes, v2 bytes and
   // the built graph all name the same graph.

@@ -44,6 +44,7 @@
 
 #include "exec/executor.h"
 #include "exec/wire.h"
+#include "obs/trace.h"
 
 namespace {
 constexpr std::size_t kNumTasks = 16;  // >= any count the test drives
@@ -74,6 +75,10 @@ int main(int argc, char** argv) {
       mode = arg.substr(7);
     } else if (arg.rfind("--marker=", 0) == 0) {
       marker = arg.substr(9);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      // Like the bench harness: workers re-parse this argv, and worker
+      // mode (entered below) switches the flush to a pid-tagged sidecar.
+      disco::obs::ConfigureTracing(arg.substr(8));
     } else if (arg.rfind("--worker=", 0) == 0) {
       const char* v = arg.c_str() + 9;
       char* end = nullptr;

@@ -230,9 +230,9 @@ TEST(ServeServer, DeterministicTalliesAreThreadCountInvariant) {
     EXPECT_EQ(r.latency.count(), reference.latency.count());
   }
   // The live counters saw every query of the last run.
-  EXPECT_EQ(Counters().queries.load(), w.total_queries());
-  EXPECT_EQ(Counters().failures.load(), reference.failures);
-  EXPECT_EQ(Counters().active_workers.load(), 0);
+  EXPECT_EQ(Counters().queries.Value(), w.total_queries());
+  EXPECT_EQ(Counters().failures.Value(), reference.failures);
+  EXPECT_EQ(Counters().active_workers.Value(), 0);
 }
 
 }  // namespace
